@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Every benchmark runs a scaled-down version of one paper experiment
+exactly once per round (these are simulations; wall-clock spread across
+rounds measures the simulator, while the assertions check the paper's
+shapes).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return _run

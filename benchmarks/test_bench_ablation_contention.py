@@ -1,0 +1,91 @@
+"""Ablation: which partition-server mechanisms create the Fig. 2 shapes?
+
+Three configurations of the table partition server:
+
+* **full**      -- front-end curve + latches (the default model);
+* **no-curve**  -- latches only: per-client Insert barely declines,
+  so the gradual Fig. 2 slope disappears;
+* **no-latch**  -- curve only: Update no longer collapses, losing the
+  paper's most dramatic effect.
+
+Conclusion (printed): both mechanisms are necessary; neither alone
+reproduces Fig. 2.
+"""
+
+from repro.analysis import ascii_table
+from repro.simcore import Environment, RandomStreams
+from repro.storage import OpSpec, PartitionServer
+
+
+def _closed_loop(server, n_clients, op, think_s=0.02, ops_each=40):
+    """Per-client throughput of a closed-loop workload on one server."""
+    env = server.env
+    finish_times = []
+
+    def client(env):
+        start = env.now
+        for _ in range(ops_each):
+            yield env.timeout(think_s)
+            yield from server.execute(op)
+        finish_times.append(env.now - start)
+
+    for _ in range(n_clients):
+        env.process(client(env))
+    env.run()
+    return sum(ops_each / t for t in finish_times) / n_clients
+
+
+def _curve(config: str, seed: int):
+    update = OpSpec(name="update", cpu_s=0.0006,
+                    exclusive_s=0.011 if config != "no-latch" else 0.0,
+                    latch_key=("entity", "k") if config != "no-latch" else None)
+    insert = OpSpec(name="insert", cpu_s=0.0007,
+                    exclusive_s=0.00025 if config != "no-latch" else 0.0,
+                    latch_key="index" if config != "no-latch" else None)
+    out = {}
+    for n in (1, 8, 32, 64):
+        for name, op in (("insert", insert), ("update", update)):
+            env = Environment()
+            server = PartitionServer(
+                env, RandomStreams(seed + n).stream("ablate"),
+                frontend_c_s=0.004 if config != "no-curve" else 0.0,
+            )
+            out[(name, n)] = _closed_loop(server, n, op)
+    return out
+
+
+def test_bench_ablation_contention(once):
+    results = once(
+        lambda: {cfg: _curve(cfg, seed=3)
+                 for cfg in ("full", "no-curve", "no-latch")}
+    )
+    rows = []
+    for cfg, data in results.items():
+        rows.append([
+            cfg,
+            data[("insert", 1)], data[("insert", 64)],
+            data[("update", 1)], data[("update", 64)],
+        ])
+    print("\n" + ascii_table(
+        ["config", "ins/s @1", "ins/s @64", "upd/s @1", "upd/s @64"],
+        rows,
+        title="Partition-server ablation (per-client ops/s)",
+    ))
+
+    full = results["full"]
+    no_curve = results["no-curve"]
+    no_latch = results["no-latch"]
+    # The front-end curve is what bends Insert down.
+    full_insert_drop = full[("insert", 1)] / full[("insert", 64)]
+    nocurve_insert_drop = no_curve[("insert", 1)] / no_curve[("insert", 64)]
+    assert full_insert_drop > 1.5, f"full drop only {full_insert_drop:.2f}x"
+    assert nocurve_insert_drop < full_insert_drop * 0.7, (
+        "insert should barely decline without the front-end curve"
+    )
+    # The entity latch is what collapses Update.
+    full_update_drop = full[("update", 1)] / full[("update", 64)]
+    nolatch_update_drop = no_latch[("update", 1)] / no_latch[("update", 64)]
+    assert full_update_drop > 8.0, f"update only dropped {full_update_drop:.1f}x"
+    assert nolatch_update_drop < full_update_drop * 0.5, (
+        "update should not collapse without the entity latch"
+    )

@@ -1,0 +1,95 @@
+"""Ablation: placement policy vs the Fig. 5 bandwidth mixture.
+
+Fig. 5's two populations (fast same-rack majority, <=30 MB/s cross-rack
+minority) depend on Azure's pack-with-spillover placement.  Forcing
+everything same-rack removes the tail; spreading across racks makes the
+slow population dominate.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.cluster import SpilloverPlacement, SpreadPlacement, VMInstance, make_nodes
+from repro.cluster.sizes import get_size
+from repro.client.tcp import TcpEndpointPair
+from repro.network import BackgroundTraffic, Datacenter, FlowNetwork, LatencyModel
+from repro.simcore import Distribution, Environment, RandomStreams
+
+
+def _bandwidth_tail(policy_name: str, seed: int, samples: int = 40):
+    env = Environment()
+    streams = RandomStreams(seed)
+    net = FlowNetwork(env)
+    dc = Datacenter(racks=8, hosts_per_rack=16)
+    nodes = make_nodes(dc)
+    rng = streams.stream("placement")
+    if policy_name == "pack":
+        policy = SpilloverPlacement(nodes, rng, spill_rate=0.0)
+    elif policy_name == "spillover":
+        policy = SpilloverPlacement(nodes, rng)  # calibrated 8%
+    else:
+        policy = SpreadPlacement(nodes)
+    vms = []
+    for _ in range(20):
+        vm = VMInstance("worker", get_size("small"), 0)
+        policy.place(vm)
+        vms.append(vm)
+    pairs = [(vms[i], vms[i + 1]) for i in range(0, 20, 2)]
+    cross = sum(
+        1 for a, b in pairs if a.node.host.rack is not b.node.host.rack
+    )
+
+    bg = streams.stream("bg")
+    for rack in dc.racks:
+        BackgroundTraffic(
+            env, net, [rack.uplink_tx], bg, intensity=0.85, parallelism=22,
+            rate_cap_mbps=40.0,
+            flow_size_mb=Distribution.lognormal_from_mean_std(400.0, 250.0),
+        )
+    latency = LatencyModel(streams.stream("lat"))
+    bandwidths = []
+
+    def prober(env, pair, count):
+        for _ in range(count):
+            mbps = yield from pair.send(500.0)
+            bandwidths.append(mbps)
+            yield env.timeout(2.0)
+
+    per_pair = max(samples // len(pairs), 1)
+    probers = [
+        env.process(prober(env, TcpEndpointPair(net, dc, latency, a, b),
+                           per_pair))
+        for a, b in pairs
+    ]
+    # Stop when the probes finish: background sources run forever.
+    env.run(until=env.all_of(probers))
+    arr = np.asarray(bandwidths)
+    return {
+        "cross_pairs": cross,
+        "tail_le_30": float((arr <= 30).mean()),
+        "median": float(np.median(arr)),
+    }
+
+
+def test_bench_ablation_placement(once):
+    results = once(
+        lambda: {
+            name: _bandwidth_tail(name, seed=17)
+            for name in ("pack", "spillover", "spread")
+        }
+    )
+    print("\n" + ascii_table(
+        ["policy", "cross-rack pairs", "% <=30 MB/s", "median MB/s"],
+        [[name, r["cross_pairs"], 100 * r["tail_le_30"], r["median"]]
+         for name, r in results.items()],
+        title="Placement ablation (10 pairs, 500 MB probes)",
+    ))
+    assert results["pack"]["tail_le_30"] <= 0.05, "pure packing has no tail"
+    assert results["spread"]["tail_le_30"] >= 0.5, (
+        "rack-spread placement should be dominated by slow pairs"
+    )
+    assert (
+        results["pack"]["tail_le_30"]
+        <= results["spillover"]["tail_le_30"]
+        <= results["spread"]["tail_le_30"]
+    ), "spillover should sit between the extremes (Fig. 5's ~15%)"

@@ -1,0 +1,70 @@
+"""Ablation: the ModisAzure kill threshold (Section 5.2's 4x rule).
+
+"a good task execution history may allow even tighter bounds than the
+4-5x we used in order to minimize wasted time and hence cost" -- this
+bench quantifies the trade-off: a tight threshold (2x) kills slow-but-
+healthy executions (extra retries), a loose one (8x) burns more compute
+per degraded execution before killing it.
+"""
+
+from repro.analysis import ascii_table
+from repro.modis import ModisAzureApp, ModisConfig
+from repro.modis.analysis import outcome_rate, slowdown_cost_estimate
+from repro.modis.tasks import TaskOutcome
+
+
+def _campaign(multiplier: float, seed: int = 5):
+    app = ModisAzureApp(ModisConfig(
+        seed=seed,
+        target_executions=9000,
+        campaign_days=60,
+        timeout_multiplier=multiplier,
+    ))
+    result = app.run()
+    kills = sum(
+        1 for r in result.records
+        if r.outcome is TaskOutcome.VM_EXECUTION_TIMEOUT
+    )
+    healthy_kills = sum(
+        1 for r in result.records
+        if r.outcome is TaskOutcome.VM_EXECUTION_TIMEOUT
+        and not r.degraded_worker
+    )
+    slow_completions = sum(
+        1 for r in result.records
+        if r.degraded_worker
+        and r.outcome is not TaskOutcome.VM_EXECUTION_TIMEOUT
+    )
+    return {
+        "kills": kills,
+        "healthy_kills": healthy_kills,
+        "slow_completions": slow_completions,
+        "timeout_rate": outcome_rate(result, TaskOutcome.VM_EXECUTION_TIMEOUT),
+        "wasted_hours": slowdown_cost_estimate(result) / 3600.0,
+        "executions": result.total_executions,
+    }
+
+
+def test_bench_ablation_timeout_multiplier(once):
+    results = once(
+        lambda: {m: _campaign(m) for m in (2.0, 4.0, 8.0)}
+    )
+    print("\n" + ascii_table(
+        ["multiplier", "kills", "healthy kills", "slow completions",
+         "wasted inst-hours", "executions"],
+        [[m, r["kills"], r["healthy_kills"], r["slow_completions"],
+          r["wasted_hours"], r["executions"]] for m, r in results.items()],
+        title="Timeout-kill threshold ablation (same campaign, same seed)",
+    ))
+    # Tighter thresholds kill more (including healthy-but-slow tasks).
+    assert results[2.0]["kills"] >= results[4.0]["kills"] >= results[8.0]["kills"]
+    # A 2x threshold starts killing healthy executions; 4x largely not.
+    assert results[2.0]["healthy_kills"] > results[4.0]["healthy_kills"]
+    assert results[4.0]["healthy_kills"] <= results[4.0]["kills"] * 0.3 + 1
+    # A loose threshold lets degraded executions limp to completion
+    # (users wait 6x) instead of killing and retrying them.
+    assert (
+        results[8.0]["slow_completions"]
+        >= results[4.0]["slow_completions"]
+        >= results[2.0]["slow_completions"]
+    )

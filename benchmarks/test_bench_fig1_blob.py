@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 1 (blob bandwidth vs concurrency)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig1_blob(once):
+    report = once(run_experiment, "fig1", scale=0.25, seed=3)
+    print("\n" + report.render())
+    assert report.passed, "\n" + report.checks.render()

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 2 (table throughput vs concurrency)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig2_table(once):
+    report = once(run_experiment, "fig2", scale=0.12, seed=3)
+    print("\n" + report.render())
+    assert report.passed, "\n" + report.checks.render()

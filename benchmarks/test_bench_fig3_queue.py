@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 3 (queue throughput vs concurrency)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig3_queue(once):
+    report = once(run_experiment, "fig3", scale=0.4, seed=3)
+    print("\n" + report.render())
+    assert report.passed, "\n" + report.checks.render()

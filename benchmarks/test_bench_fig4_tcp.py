@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 4 (TCP latency histogram)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig4_tcp_latency(once):
+    report = once(run_experiment, "fig4", scale=0.3, seed=3)
+    print("\n" + report.render())
+    assert report.passed, "\n" + report.checks.render()

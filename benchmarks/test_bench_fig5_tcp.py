@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 5 (TCP bandwidth histogram)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig5_tcp_bandwidth(once):
+    report = once(run_experiment, "fig5", scale=0.25, seed=3)
+    print("\n" + report.render())
+    assert report.passed, "\n" + report.checks.render()

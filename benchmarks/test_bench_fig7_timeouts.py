@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 7 (daily VM-timeout percentage)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig7_timeouts(once):
+    report = once(run_experiment, "fig7", scale=0.15, seed=5)
+    print("\n" + report.render())
+    assert report.passed, "\n" + report.checks.render()

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 1 (VM lifecycle phase times)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1_vm(once):
+    report = once(run_experiment, "table1", scale=1.0, seed=3)
+    print("\n" + report.render())
+    assert report.passed, "\n" + report.checks.render()

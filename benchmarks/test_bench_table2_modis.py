@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 2 (ModisAzure task/failure breakdown)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table2_modis(once):
+    report = once(run_experiment, "table2", scale=0.15, seed=3)
+    print("\n" + report.render())
+    assert report.passed, "\n" + report.checks.render()

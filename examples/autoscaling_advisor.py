@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Should you keep hot standbys?  The Section 6.2 trade-off, quantified.
+
+"If fast scaling out is important, hot-standbys may be required if a
+10 min delay is not acceptable, although this option would incur a
+higher economic cost."
+
+Evaluates four scaling policies against the same bursty load, with
+every scale-out paying the paper's measured instance-add times
+(Table 1: ~12-19 minutes for small workers).
+
+Run:  python examples/autoscaling_advisor.py
+"""
+
+from repro.analysis import ascii_table
+from repro.autoscale import (
+    FixedFleet,
+    HotStandby,
+    LoadProfile,
+    ReactivePolicy,
+    SchedulePolicy,
+)
+from repro.autoscale.simulator import compare_policies
+
+
+def main():
+    profile = LoadProfile.bursty(
+        quiet_hours=1.5, burst_hours=1.0,
+        quiet_rate=6.0, burst_rate=260.0, cycles=3,
+    )
+    # The schedule knows when bursts come (90 min quiet, 60 min burst):
+    # pre-provision 10 minutes early, release after.
+    schedule = [(0.0, 4)]
+    t = 0.0
+    for _ in range(3):
+        t += 1.5 * 3600.0
+        schedule.append((t - 900.0, 18))
+        t += 1.0 * 3600.0
+        schedule.append((t, 4))
+    policies = [
+        FixedFleet(4),
+        ReactivePolicy(base=4, step=8),
+        HotStandby(base=4, standbys=12),
+        SchedulePolicy(schedule),
+    ]
+    outcomes = compare_policies(policies, profile, seed=1, initial_count=4)
+    print(ascii_table(
+        ["policy", "jobs", "mean wait (s)", "p95 wait (s)",
+         "instance-hours", "peak VMs"],
+        [o.summary_row() for o in outcomes],
+        title=(
+            "3 quiet/burst cycles, calibrated Azure add times "
+            f"({profile.horizon_s / 3600:.1f} simulated hours)"
+        ),
+    ))
+    print("""
+What the numbers say (Section 6.2, quantified):
+ * fixed       -- cheap, but burst arrivals queue for the whole burst;
+ * reactive    -- scales, yet every burst still eats the ~10-minute add
+                  latency before relief arrives;
+ * hot-standby -- flat latency at a standing-capacity premium;
+ * scheduled   -- nearly hot-standby latency at reactive-like cost, IF
+                  you can predict the burst (the 10-min lead time is
+                  exactly the paper's measured startup delay).""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""A fault drill: what a 503 storm does to a busy table workload.
+
+Section 6.3: "errors that did not occur at lower scale will begin to
+become common as scale increases ... build a robust logging and
+monitoring infrastructure early."  This drill throws a scheduled
+ServerBusy storm and a latency spike at a running workload and reports
+what each retry policy absorbed and what leaked to the application.
+
+Run:  python examples/failure_drill.py
+"""
+
+from repro.analysis import ascii_table
+from repro.client import TableClient
+from repro.client.retry import NO_RETRY, RetryPolicy
+from repro.faults import FaultInjector
+from repro.simcore import Environment, RandomStreams, Tally
+from repro.storage import TableService
+from repro.storage.table import make_entity
+
+
+def drill(policy, policy_name, seed=3, n_clients=16, ops_per_client=40):
+    env = Environment()
+    streams = RandomStreams(seed)
+    svc = TableService(env, streams.stream("t"))
+    svc.create_table("t")
+    injector = FaultInjector(env, streams.stream("faults"))
+    injector.attach(svc.server_for("t", "p"))
+    # Minute 1-3: a 35% 503 storm.  Minute 4-6: +800 ms latency spikes.
+    injector.add_window(60.0, 120.0, "server_busy_storm", magnitude=0.35)
+    injector.add_window(240.0, 120.0, "latency_spike", magnitude=0.8)
+
+    latencies = Tally("op latency")
+    outcome = {"ok": 0, "failed": 0, "retries": 0}
+
+    def client_proc(env, idx):
+        client = TableClient(svc, retry=policy)
+        for i in range(ops_per_client):
+            _result, op = yield from client.insert_measured(
+                "t", make_entity("p", f"c{idx}-r{i}")
+            )
+            latencies.observe(op.latency_s)
+            outcome["retries"] += op.retries
+            if op.ok:
+                outcome["ok"] += 1
+            else:
+                outcome["failed"] += 1
+            # Paced workload: the run spans ~7 simulated minutes, so it
+            # crosses both fault windows.
+            yield env.timeout(10.0)
+
+    for idx in range(n_clients):
+        env.process(client_proc(env, idx))
+    env.run()
+    return [
+        policy_name,
+        outcome["ok"],
+        outcome["failed"],
+        outcome["retries"],
+        injector.stats.rejections,
+        latencies.mean * 1000,
+        latencies.percentile(95) * 1000,
+    ]
+
+
+def main():
+    rows = [
+        drill(NO_RETRY, "no retry"),
+        drill(RetryPolicy(max_retries=3), "3 retries (SDK default)"),
+        drill(RetryPolicy(max_retries=8, backoff_s=0.5), "8 retries"),
+    ]
+    print(ascii_table(
+        ["policy", "ok", "failed", "retries used", "503s injected",
+         "mean ms", "p95 ms"],
+        rows,
+        title="503 storm (35%, 2 min) + latency spike (0.8 s, 2 min) drill",
+    ))
+    print("""
+The drill shows the paper's operational lesson: the same storm that a
+retrying client absorbs invisibly (at a latency cost you must monitor
+to even notice) hard-fails a naive client hundreds of times.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Run a ModisAzure campaign: the paper's Section 5 in miniature.
+
+Simulates a satellite-imagery processing campaign on ~200 worker
+instances -- request decomposition, queue-fed workers, failure
+injection, host degradation, and the 4x timeout-kill-retry monitor --
+then prints the Table-2-style breakdown and a Fig.-7-style timeline.
+
+Run:  python examples/modis_pipeline.py [--days 90] [--executions 20000]
+"""
+
+import argparse
+
+from repro.analysis import ascii_table, format_series
+from repro.modis import ModisAzureApp, ModisConfig
+from repro.modis.analysis import (
+    daily_timeout_series,
+    failure_breakdown,
+    retry_statistics,
+    slowdown_cost_estimate,
+    task_breakdown,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--days", type=int, default=90)
+    parser.add_argument("--executions", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--no-monitor", action="store_true",
+        help="disable the timeout monitor (the design the paper abandoned)",
+    )
+    args = parser.parse_args()
+
+    app = ModisAzureApp(ModisConfig(
+        seed=args.seed,
+        campaign_days=args.days,
+        target_executions=args.executions,
+        use_monitor=not args.no_monitor,
+    ))
+    print(f"Simulating {args.days} days on "
+          f"{app.config.n_workers} workers ...")
+    result = app.run()
+
+    print(f"\n{result.total_executions} task executions of "
+          f"{len(result.tasks)} distinct tasks; "
+          f"{result.tasks_completed} tasks completed, "
+          f"{result.tasks_abandoned} abandoned (user-code bugs), "
+          f"{result.monitor_kills} executions killed by the monitor\n")
+
+    print(ascii_table(
+        ["task classification", "executions", "% of total"],
+        [[k.value, n, f"{pct:.2f}"] for k, (n, pct)
+         in task_breakdown(result).items()],
+    ))
+    print()
+    print(ascii_table(
+        ["outcome", "executions", "% of total"],
+        [[o.value, n, f"{pct:.3f}"] for o, (n, pct)
+         in failure_breakdown(result).items()],
+    ))
+
+    series = daily_timeout_series(result)
+    values = series.values
+    step = max(args.days // 30, 1)
+    print()
+    print(format_series(
+        [f"d{d}" for d in range(0, args.days, step)],
+        [float(values[d:d + step].max()) for d in range(0, args.days, step)],
+        x_label="day",
+        y_label="max daily VM-timeout %",
+        title="Daily VM-execution-timeout rate (Fig. 7 shape)",
+    ))
+
+    retries = retry_statistics(result)
+    print("\nMean executions per distinct task: "
+          + ", ".join(f"{k}={v:.2f}" for k, v in retries.items()))
+    wasted = slowdown_cost_estimate(result)
+    print(f"Compute wasted in killed executions: {wasted / 3600:.1f} "
+          f"instance-hours (why the paper suggests tighter bounds than 4x)")
+
+    from repro import costs
+
+    breakdown = costs.campaign_cost(result)
+    print(f"\nCampaign bill at 2010 prices: {breakdown}")
+    print(f"  of which killed executions burned "
+          f"${costs.wasted_compute_cost(result):,.2f}")
+    advice = costs.reuse_breakeven(product_gb=0.05, recompute_vm_hours=0.085)
+    print(f"  store-vs-recompute: a reprojection product breaks even at "
+          f"{advice.breakeven_months:.1f} months retention "
+          f"(the paper's 'valid within a month' rule)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Operate a busy deployment: live metrics over a mixed workload.
+
+Section 6.3: "extensive monitoring and logging facilities are necessary
+to not only diagnose problems but also to determine how the application
+is behaving."  This example wires gauges onto every service of a
+simulated platform, runs a mixed blob/table/queue workload with a
+mid-run 503 storm, and prints the dashboard an operator would watch.
+
+Run:  python examples/ops_dashboard.py
+"""
+
+from repro.client import BlobClient, QueueClient, TableClient
+from repro.client.retry import RetryPolicy
+from repro.faults import FaultInjector
+from repro.monitoring import MetricsRegistry, Sampler, render_dashboard
+from repro.storage.table import make_entity
+from repro.workloads import build_platform
+
+
+def main():
+    platform = build_platform(seed=13, n_clients=24, racks=4, hosts_per_rack=8)
+    env, account = platform.env, platform.account
+    account.blobs.create_container("data")
+    account.tables.create_table("status")
+    account.queues.create_queue("work")
+
+    registry = MetricsRegistry()
+    registry.register_gauge(
+        "queue.depth", lambda: account.queues.queue_length("work")
+    )
+    registry.register_gauge(
+        "queue.server.active",
+        lambda: account.queues.server_for("work").active_requests,
+    )
+    registry.register_gauge(
+        "table.server.active",
+        lambda: account.tables.server_for("status", "jobs").active_requests,
+    )
+    registry.register_gauge(
+        "network.flows", lambda: platform.network.active_count
+    )
+    sampler = Sampler(env, registry, interval_s=5.0)
+    sampler.start()
+
+    # Mid-run 503 storm against the table partition.
+    injector = FaultInjector(env, platform.streams.stream("drill"))
+    injector.attach(account.tables.server_for("status", "jobs"))
+    injector.add_window(120.0, 90.0, "server_busy_storm", magnitude=0.4)
+
+    def producer(env, idx):
+        queue = QueueClient(account.queues)
+        blob = BlobClient(account.blobs, platform.clients[idx])
+        for i in range(12):
+            yield from blob.upload("data", f"in-{idx}-{i}", 5.0)
+            yield from queue.add("work", {"blob": f"in-{idx}-{i}"})
+            registry.counter("jobs.submitted").increment()
+            yield env.timeout(10.0)
+
+    def worker(env, idx):
+        queue = QueueClient(account.queues)
+        table = TableClient(account.tables, retry=RetryPolicy(max_retries=6))
+        blob = BlobClient(account.blobs, platform.clients[12 + idx])
+        while env.now < 420.0:
+            try:
+                msg = yield from queue.receive("work", visibility_timeout_s=120.0)
+            except Exception:  # noqa: BLE001 - empty queue: idle poll
+                yield env.timeout(3.0)
+                continue
+            start = env.now
+            yield from blob.download("data", msg.payload["blob"])
+            _r, outcome = yield from table.insert_measured(
+                "status", make_entity("jobs", f"done-{msg.id}")
+            )
+            registry.tally("job.latency_s").observe(env.now - start)
+            if not outcome.ok:
+                registry.counter("jobs.failed").increment()
+            registry.counter("table.retries").increment(outcome.retries)
+            yield from queue.delete("work", msg, msg.pop_receipt)
+            registry.counter("jobs.done").increment()
+
+    for idx in range(8):
+        env.process(producer(env, idx))
+    for idx in range(8):
+        env.process(worker(env, idx))
+    env.run(until=450.0)
+
+    print(render_dashboard(
+        registry,
+        title="Dashboard after 7.5 simulated minutes "
+              "(503 storm hit the status table at t=120..210s)",
+        sampler=sampler,
+    ))
+    print(f"\n503s injected by the drill: {injector.stats.rejections} "
+          "(absorbed by client retries -- visible only in the retry "
+          "counter and the latency tallies, which is the paper's point)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Capacity planning: how do the storage services scale with clients?
+
+The scenario the paper's Section 6.1 recommendations address: you are
+sizing a fan-out data-processing deployment and need to know where each
+storage service stops scaling, so you can decide how many blobs/queues/
+partitions to spread the load over.
+
+Run:  python examples/storage_scaling.py [--full]
+"""
+
+import argparse
+
+from repro.analysis import ascii_table
+from repro.workloads import run_blob_test, run_queue_test, run_table_test
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale op counts (slower)",
+    )
+    args = parser.parse_args()
+    levels = (1, 8, 32, 64, 128)
+    blob_mb = 1000.0 if args.full else 200.0
+    table_ops = None if args.full else {
+        "insert": 60, "query": 60, "update": 30, "delete": 60,
+    }
+    queue_ops = 100 if args.full else 40
+
+    rows = []
+    for n in levels:
+        blob = run_blob_test("download", n, size_mb=blob_mb, seed=n)
+        table = run_table_test(n, entity_kb=4.0, ops_per_client=table_ops,
+                               seed=n)
+        queue = run_queue_test("receive", n, ops_per_client=queue_ops,
+                               seed=n)
+        rows.append([
+            n,
+            blob.mean_client_mbps,
+            blob.aggregate_mbps,
+            table.mean_client_ops("insert"),
+            table.aggregate_ops("insert"),
+            queue.mean_client_ops,
+            queue.aggregate_ops,
+        ])
+
+    print(ascii_table(
+        ["clients", "blob MB/s/cl", "blob agg", "tbl ins/s/cl",
+         "tbl ins agg", "q recv/s/cl", "q recv agg"],
+        rows,
+        title="Storage scalability against ONE blob / partition / queue",
+    ))
+
+    print("""
+Reading the table (the paper's Section 6.1 advice falls out directly):
+ * One blob serves ~400 MB/s total: past ~32 readers, add replicas or
+   client-side caches rather than readers.
+ * One table partition keeps absorbing keyed inserts through 128+
+   clients, but per-client latency grows; spread partitions for
+   latency, not throughput.
+ * One queue saturates its Receive path around 400-550 ops/s by ~64
+   consumers: use multiple queues for wider fan-in/fan-out.""")
+
+
+if __name__ == "__main__":
+    main()

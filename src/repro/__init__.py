@@ -1,0 +1,22 @@
+"""repro: a reproduction of "Early observations on the performance of
+Windows Azure" (Hill et al., HPDC'10 / Sci. Prog. 2011).
+
+The package simulates an Azure-like cloud platform (compute fabric,
+blob/table/queue storage, datacenter network) with a discrete-event
+kernel, re-implements the paper's benchmark programs against the
+simulated services, and runs a ModisAzure-like pipeline application on
+top -- regenerating every table and figure in the paper's evaluation.
+
+Public surface highlights::
+
+    from repro.workloads import build_platform       # a simulated Azure
+    from repro.client import BlobClient, TableClient, QueueClient
+    from repro.experiments import run_experiment     # fig1..fig7, tables
+    from repro.modis import ModisAzureApp, ModisConfig
+    from repro.autoscale import HotStandby, ScalingSimulator
+    from repro.faults import FaultInjector
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,43 @@
+"""Summary statistics over samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/std/min/max/percentile digest of one sample set."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} p50={self.p50:.4g} "
+            f"p95={self.p95:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+    )

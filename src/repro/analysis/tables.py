@@ -1,0 +1,72 @@
+"""ASCII rendering of result tables and series (the experiment reports)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    cells: List[List[str]] = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(
+    xs: Sequence[Any],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+    width: int = 50,
+) -> str:
+    """A compact ASCII series plot (one bar row per x value)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if not ys:
+        raise ValueError("empty series")
+    peak = max(ys)
+    scale = (width / peak) if peak > 0 else 0.0
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(f"{x_label:>10}  {y_label}")
+    for x, y in zip(xs, ys):
+        bar = "#" * max(int(y * scale), 0)
+        out.append(f"{_fmt(x):>10}  {bar} {_fmt(y)}")
+    return "\n".join(out)

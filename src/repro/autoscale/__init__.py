@@ -1,0 +1,34 @@
+"""Dynamic scaling policies over the calibrated VM lifecycle model.
+
+Section 6.2 of the paper: "If fast scaling out is important,
+hot-standbys may be required if a 10 min delay is not acceptable,
+although this option would incur a higher economic cost."  This package
+turns that remark into a library: scaling policies that decide when to
+add/remove instances, a simulator that charges them the paper's
+measured create/run/add times, and metrics that expose the
+latency-vs-cost trade-off.
+"""
+
+from repro.autoscale.policies import (
+    FixedFleet,
+    HotStandby,
+    ReactivePolicy,
+    ScalingPolicy,
+    SchedulePolicy,
+)
+from repro.autoscale.simulator import (
+    LoadProfile,
+    ScalingOutcome,
+    ScalingSimulator,
+)
+
+__all__ = [
+    "FixedFleet",
+    "HotStandby",
+    "LoadProfile",
+    "ReactivePolicy",
+    "ScalingOutcome",
+    "ScalingPolicy",
+    "SchedulePolicy",
+    "ScalingSimulator",
+]

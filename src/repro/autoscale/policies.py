@@ -1,0 +1,148 @@
+"""Scaling policies: when to grow or shrink the worker fleet.
+
+A policy is consulted periodically with a :class:`FleetView` snapshot
+and answers with a desired instance count.  The simulator applies the
+decision through the fabric's measured add/suspend times, so policies
+pay the paper's ~10-minute scale-out latency (Table 1) for every
+instance they request late.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FleetView:
+    """What a policy can observe at decision time."""
+
+    time_s: float
+    ready: int
+    starting: int
+    backlog: int
+    #: Jobs completed since the previous decision point.
+    completed_recent: int
+
+    @property
+    def provisioned(self) -> int:
+        return self.ready + self.starting
+
+
+class ScalingPolicy:
+    """Base policy: return the desired total instance count."""
+
+    #: How often the simulator consults the policy.
+    decision_interval_s: float = 60.0
+
+    def desired_count(self, view: FleetView) -> int:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class FixedFleet(ScalingPolicy):
+    """Never scales: the statically provisioned baseline."""
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.count = count
+
+    def desired_count(self, view: FleetView) -> int:
+        return self.count
+
+    @property
+    def name(self) -> str:
+        return f"fixed({self.count})"
+
+
+class HotStandby(ScalingPolicy):
+    """Keep ``standbys`` idle instances beyond the reactive target.
+
+    The Section 6.2 recommendation: pay for warm capacity so bursts
+    never wait on a 10-minute boot.
+    """
+
+    def __init__(self, base: int, standbys: int,
+                 per_instance_backlog: float = 4.0) -> None:
+        if base < 1 or standbys < 0:
+            raise ValueError("base >= 1 and standbys >= 0 required")
+        self.base = base
+        self.standbys = standbys
+        self.per_instance_backlog = per_instance_backlog
+
+    def desired_count(self, view: FleetView) -> int:
+        demand = max(
+            self.base,
+            int(view.backlog / self.per_instance_backlog),
+        )
+        return demand + self.standbys
+
+    @property
+    def name(self) -> str:
+        return f"hot-standby({self.base}+{self.standbys})"
+
+
+class ReactivePolicy(ScalingPolicy):
+    """Scale out when backlog per provisioned instance crosses a
+    threshold; scale in when the fleet idles.  The on-demand strategy
+    that eats the full scale-out delay."""
+
+    def __init__(
+        self,
+        base: int,
+        scale_out_backlog: float = 8.0,
+        scale_in_backlog: float = 1.0,
+        step: int = 4,
+        max_count: int = 64,
+    ) -> None:
+        if base < 1 or step < 1 or max_count < base:
+            raise ValueError("invalid reactive policy parameters")
+        self.base = base
+        self.scale_out_backlog = scale_out_backlog
+        self.scale_in_backlog = scale_in_backlog
+        self.step = step
+        self.max_count = max_count
+
+    def desired_count(self, view: FleetView) -> int:
+        per_instance = view.backlog / max(view.provisioned, 1)
+        if per_instance > self.scale_out_backlog:
+            desired = view.provisioned + self.step
+        elif per_instance < self.scale_in_backlog and view.backlog == 0:
+            desired = view.provisioned - 1
+        else:
+            desired = view.provisioned
+        # Clamp on every branch: an externally over-provisioned fleet
+        # (e.g. a policy change mid-run) must still converge into
+        # [base, max_count].
+        return min(max(desired, self.base), self.max_count)
+
+    @property
+    def name(self) -> str:
+        return f"reactive(+{self.step})"
+
+
+class SchedulePolicy(ScalingPolicy):
+    """Pre-provision on a clock: the 'we know the burst is at 9am'
+    strategy.  ``schedule`` maps (start_s, count) breakpoints."""
+
+    def __init__(self, schedule: Sequence[Tuple[float, int]]) -> None:
+        if not schedule:
+            raise ValueError("schedule must not be empty")
+        self.schedule = sorted(schedule)
+        if any(count < 1 for _, count in self.schedule):
+            raise ValueError("scheduled counts must be >= 1")
+
+    def desired_count(self, view: FleetView) -> int:
+        current = self.schedule[0][1]
+        for start, count in self.schedule:
+            if view.time_s >= start:
+                current = count
+        return current
+
+    @property
+    def name(self) -> str:
+        return f"scheduled({len(self.schedule)} steps)"

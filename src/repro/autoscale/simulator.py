@@ -1,0 +1,241 @@
+"""Scaling-policy evaluation on the calibrated lifecycle model.
+
+Jobs arrive on a load profile; workers serve them; a scaling policy is
+consulted every ``decision_interval_s`` and its add/remove decisions pay
+the paper's measured instance add times (Table 1: ~12-19 min for small
+workers) and suspend times.  The outcome reports the user-visible
+latency and the instance-hours billed -- Section 6.2's trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autoscale.policies import FleetView, ScalingPolicy
+from repro.cluster.lifecycle import LifecycleTimingModel
+from repro.simcore import Distribution, Environment, RandomStreams, Store
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """A piecewise arrival-rate profile plus job service times.
+
+    ``phases`` is a sequence of (duration_s, jobs_per_hour) segments.
+    """
+
+    phases: Tuple[Tuple[float, float], ...]
+    service: Distribution = field(
+        default_factory=lambda: Distribution.lognormal_from_mean_std(300.0, 100.0)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("profile needs at least one phase")
+        if any(d <= 0 or rate < 0 for d, rate in self.phases):
+            raise ValueError("phases need positive durations, rates >= 0")
+
+    @property
+    def horizon_s(self) -> float:
+        return sum(duration for duration, _rate in self.phases)
+
+    @classmethod
+    def bursty(
+        cls,
+        quiet_hours: float = 1.0,
+        burst_hours: float = 1.0,
+        quiet_rate: float = 10.0,
+        burst_rate: float = 240.0,
+        cycles: int = 3,
+    ) -> "LoadProfile":
+        """The diurnal quiet/burst pattern the paper's apps see."""
+        phases: List[Tuple[float, float]] = []
+        for _ in range(cycles):
+            phases.append((quiet_hours * 3600.0, quiet_rate))
+            phases.append((burst_hours * 3600.0, burst_rate))
+        return cls(phases=tuple(phases))
+
+
+@dataclass
+class ScalingOutcome:
+    """What a policy cost and what users experienced."""
+
+    policy: str
+    jobs_completed: int
+    jobs_unserved: int
+    mean_wait_s: float
+    p95_wait_s: float
+    max_wait_s: float
+    instance_hours: float
+    peak_instances: int
+    scale_actions: int
+
+    def summary_row(self) -> List[object]:
+        return [
+            self.policy, self.jobs_completed, self.mean_wait_s,
+            self.p95_wait_s, self.instance_hours, self.peak_instances,
+        ]
+
+
+class ScalingSimulator:
+    """Evaluates one policy against one load profile."""
+
+    def __init__(
+        self,
+        policy: ScalingPolicy,
+        profile: LoadProfile,
+        seed: int = 0,
+        initial_count: int = 4,
+        drain_s: float = 3600.0,
+    ) -> None:
+        if initial_count < 1:
+            raise ValueError("initial_count must be >= 1")
+        self.policy = policy
+        self.profile = profile
+        self.seed = seed
+        self.initial_count = initial_count
+        self.drain_s = drain_s
+
+    def run(self) -> ScalingOutcome:
+        env = Environment()
+        streams = RandomStreams(self.seed)
+        rng = streams.stream("autoscale.load")
+        timing = LifecycleTimingModel(streams.stream("autoscale.fabric"))
+        slots = Store(env)
+
+        state = {
+            "ready": 0,
+            "starting": 0,
+            "backlog": 0,
+            "completed": 0,
+            "completed_recent": 0,
+            "actions": 0,
+            "peak": 0,
+        }
+        waits: List[float] = []
+        #: (ready_time, retire_time or None) per instance, for billing
+        #: (billed while usable; startup time is the user's wait, not a
+        #: billed hour, and identically so for every policy).
+        instance_spans: List[List[Optional[float]]] = []
+
+        def bring_up(delay_s: float):
+            state["starting"] += 1
+            yield env.timeout(delay_s)
+            state["starting"] -= 1
+            state["ready"] += 1
+            state["peak"] = max(state["peak"], state["ready"])
+            instance_spans.append([env.now, None])
+            idx = len(instance_spans) - 1
+            yield slots.put(idx)
+
+        def retire(count: int) -> int:
+            removed = 0
+            while removed < count and slots.items:
+                idx = slots.items.pop()  # take an idle slot out of rotation
+                suspend = timing.suspend_duration("worker", "small")
+                instance_spans[idx][1] = env.now + suspend
+                state["ready"] -= 1
+                removed += 1
+            return removed
+
+        def job(env, arrived_at: float):
+            state["backlog"] += 1
+            got = yield slots.get()
+            state["backlog"] -= 1
+            waits.append(env.now - arrived_at)
+            yield env.timeout(max(self.profile.service.sample(rng), 1.0))
+            state["completed"] += 1
+            state["completed_recent"] += 1
+            yield slots.put(got)
+
+        def load(env):
+            for duration, per_hour in self.profile.phases:
+                end = env.now + duration
+                if per_hour <= 0:
+                    yield env.timeout(duration)
+                    continue
+                mean_gap = 3600.0 / per_hour
+                while env.now < end:
+                    gap = float(rng.exponential(mean_gap))
+                    if env.now + gap >= end:
+                        yield env.timeout(end - env.now)
+                        break
+                    yield env.timeout(gap)
+                    env.process(job(env, env.now))
+
+        def controller(env):
+            while True:
+                view = FleetView(
+                    time_s=env.now,
+                    ready=state["ready"],
+                    starting=state["starting"],
+                    backlog=state["backlog"],
+                    completed_recent=state["completed_recent"],
+                )
+                state["completed_recent"] = 0
+                desired = max(self.policy.desired_count(view), 1)
+                provisioned = state["ready"] + state["starting"]
+                if desired > provisioned:
+                    state["actions"] += 1
+                    offsets = timing.ready_times(
+                        "worker", "small", desired - provisioned, phase="add"
+                    )
+                    for off in offsets:
+                        env.process(bring_up(off))
+                elif desired < provisioned:
+                    if retire(provisioned - desired):
+                        state["actions"] += 1
+                yield env.timeout(self.policy.decision_interval_s)
+
+        # Initial fleet boots through the (faster) run phase.
+        for off in timing.ready_times(
+            "worker", "small", self.initial_count, phase="run"
+        ):
+            env.process(bring_up(off))
+        env.process(load(env))
+        env.process(controller(env))
+        horizon = self.profile.horizon_s + self.drain_s
+        env.run(until=horizon)
+
+        unserved = state["backlog"]
+        hours = sum(
+            ((end if end is not None else horizon) - start) / 3600.0
+            for start, end in instance_spans
+        )
+        if waits:
+            arr = np.asarray(waits)
+            mean_w, p95_w, max_w = (
+                float(arr.mean()),
+                float(np.percentile(arr, 95)),
+                float(arr.max()),
+            )
+        else:
+            mean_w = p95_w = max_w = float("nan")
+        return ScalingOutcome(
+            policy=self.policy.name,
+            jobs_completed=state["completed"],
+            jobs_unserved=unserved,
+            mean_wait_s=mean_w,
+            p95_wait_s=p95_w,
+            max_wait_s=max_w,
+            instance_hours=hours,
+            peak_instances=state["peak"],
+            scale_actions=state["actions"],
+        )
+
+
+def compare_policies(
+    policies: Sequence[ScalingPolicy],
+    profile: LoadProfile,
+    seed: int = 0,
+    initial_count: int = 4,
+) -> List[ScalingOutcome]:
+    """Run each policy against the same load and seed."""
+    return [
+        ScalingSimulator(
+            policy, profile, seed=seed, initial_count=initial_count
+        ).run()
+        for policy in policies
+    ]

@@ -1,0 +1,132 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig1 [--scale 0.3] [--seed 7]
+    python -m repro run all  [--scale 0.2]
+    python -m repro calibration
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'id':8s}  {'paper':9s}  {'~time':7s}  title")
+    for spec in EXPERIMENTS.values():
+        print(
+            f"{spec.experiment_id:8s}  {spec.paper_artifact:9s}  "
+            f"{spec.nominal_runtime:7s}  {spec.title}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failures = 0
+    exported = {}
+    for eid in ids:
+        start = time.time()
+        report = run_experiment(eid, scale=args.scale, seed=args.seed)
+        elapsed = time.time() - start
+        print(report.render())
+        print(f"\n({eid} finished in {elapsed:.1f}s)\n")
+        if not report.passed:
+            failures += 1
+        if args.json:
+            exported[eid] = {
+                "title": report.title,
+                "passed": report.passed,
+                "checks": [
+                    {"name": c.name, "passed": c.passed, "detail": c.detail}
+                    for c in report.checks.results
+                ],
+                "data": _jsonable(report.data),
+            }
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(exported, fh, indent=2, sort_keys=True)
+        print(f"wrote machine-readable results to {args.json}")
+    if failures:
+        print(f"{failures} experiment(s) had failing shape checks")
+    return 1 if failures else 0
+
+
+def _jsonable(value):
+    """Coerce report data (enum keys, tuples, numpy scalars) to JSON."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _cmd_calibration(_args: argparse.Namespace) -> int:
+    from repro.calibration import CalibrationSummary
+
+    summary = CalibrationSummary()
+    for group in ("network", "blob", "vm", "modis"):
+        print(f"[{group}]")
+        for key, value in getattr(summary, group).items():
+            print(f"  {key} = {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Early observations on the performance of "
+            "Windows Azure' (Hill et al., HPDC'10) on a simulated "
+            "Azure-like platform."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run an experiment (or 'all')")
+    p_run.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id",
+    )
+    p_run.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale (1.0 = the paper's protocol)",
+    )
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write machine-readable results to this JSON file",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cal = sub.add_parser(
+        "calibration", help="print the paper-anchored constants"
+    )
+    p_cal.set_defaults(func=_cmd_calibration)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Shared client plumbing: timeout racing and the retry loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.client.retry import RetryPolicy
+from repro.simcore import Environment
+from repro.storage.errors import OperationTimeoutError
+
+
+class ClientTimeoutError(OperationTimeoutError):
+    """The client-side operation timeout elapsed before the response.
+
+    Subclasses OperationTimeoutError so callers and the retry policy
+    treat server- and client-side timeouts uniformly, as the real SDK
+    surfaced them.
+    """
+
+
+def race_timeout(
+    env: Environment,
+    operation: Generator,
+    timeout_s: Optional[float],
+    description: str = "operation",
+) -> Generator:
+    """Run a service operation with a client-side timeout.
+
+    If the timeout elapses first the operation is abandoned (it keeps
+    consuming server resources, as an abandoned HTTP request would) and
+    ClientTimeoutError is raised.
+    """
+    if timeout_s is None:
+        result = yield from operation
+        return result
+    proc = env.process(operation)
+    timer = env.timeout(timeout_s)
+    yield env.any_of([proc, timer])
+    if proc.processed:
+        if not proc.ok:
+            raise proc.value
+        return proc.value
+    # Abandon: silence the eventual completion/failure of the orphan.
+    proc.defuse()
+    raise ClientTimeoutError(
+        f"{description} exceeded client timeout of {timeout_s}s"
+    )
+
+
+def with_retries(
+    env: Environment,
+    make_operation: Callable[[], Generator],
+    policy: RetryPolicy,
+    timeout_s: Optional[float],
+    description: str = "operation",
+    on_retry: Optional[Callable[[BaseException, int], None]] = None,
+) -> Generator:
+    """The standard client call path: timeout racing plus bounded retry."""
+    attempt = 0
+    while True:
+        try:
+            result = yield from race_timeout(
+                env, make_operation(), timeout_s, description
+            )
+            return result
+        except BaseException as error:  # noqa: BLE001 - classified below
+            if not policy.should_retry(error, attempt):
+                raise
+            if on_retry is not None:
+                on_retry(error, attempt)
+            yield env.timeout(policy.backoff(attempt))
+            attempt += 1
+
+
+class OperationOutcome:
+    """Measurement record: latency plus success/error classification."""
+
+    __slots__ = ("started_at", "finished_at", "error", "retries")
+
+    def __init__(
+        self,
+        started_at: float,
+        finished_at: float,
+        error: Optional[BaseException] = None,
+        retries: int = 0,
+    ) -> None:
+        self.started_at = started_at
+        self.finished_at = finished_at
+        self.error = error
+        self.retries = retries
+
+    @property
+    def latency_s(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else type(self.error).__name__
+        return f"<Outcome {status} {self.latency_s * 1000:.1f}ms>"
+
+
+def measured_call(
+    env: Environment,
+    make_operation: Callable[[], Generator],
+    policy: RetryPolicy,
+    timeout_s: Optional[float],
+    description: str = "operation",
+) -> Generator:
+    """Run a client call and return (result_or_None, OperationOutcome)."""
+    start = env.now
+    retries = {"n": 0}
+
+    def count_retry(_error: BaseException, _attempt: int) -> None:
+        retries["n"] += 1
+
+    try:
+        result = yield from with_retries(
+            env, make_operation, policy, timeout_s, description, count_retry
+        )
+    except Exception as error:  # noqa: BLE001 - recorded, not swallowed
+        return None, OperationOutcome(start, env.now, error, retries["n"])
+    return result, OperationOutcome(start, env.now, None, retries["n"])

@@ -1,0 +1,98 @@
+"""Typed client for the blob service."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.client.base import measured_call, with_retries
+from repro.client.retry import RetryPolicy
+from repro.storage.blob import BlobService, NetworkEndpoint
+
+
+class BlobClient:
+    """Blob operations bound to one network endpoint (a VM).
+
+    Large transfers are not raced against a client timeout (the real SDK
+    streamed them with per-chunk timeouts, so a slow-but-moving transfer
+    never tripped it); transport-level failures still retry.
+    """
+
+    def __init__(
+        self,
+        service: BlobService,
+        endpoint: NetworkEndpoint,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.service = service
+        self.env = service.env
+        self.endpoint = endpoint
+        self.retry = retry if retry is not None else RetryPolicy()
+
+    # -- raising API ---------------------------------------------------------
+    def upload(
+        self,
+        container: str,
+        name: str,
+        size_mb: float,
+        overwrite: bool = False,
+    ) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.upload(
+                self.endpoint, container, name, size_mb, overwrite
+            ),
+            self.retry, None, "blob.upload",
+        )
+        return result
+
+    def download(
+        self, container: str, name: str, corrupt_probability: float = 0.0
+    ) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.download(
+                self.endpoint, container, name, corrupt_probability
+            ),
+            self.retry, None, "blob.download",
+        )
+        return result
+
+    def exists(self, container: str, name: str) -> bool:
+        return self.service.exists(container, name)
+
+    def delete(self, container: str, name: str) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.delete_blob(container, name),
+            self.retry, None, "blob.delete",
+        )
+        return result
+
+    # -- measured API ----------------------------------------------------------
+    def upload_measured(
+        self,
+        container: str,
+        name: str,
+        size_mb: float,
+        overwrite: bool = False,
+    ) -> Generator:
+        result = yield from measured_call(
+            self.env,
+            lambda: self.service.upload(
+                self.endpoint, container, name, size_mb, overwrite
+            ),
+            self.retry, None, "blob.upload",
+        )
+        return result
+
+    def download_measured(
+        self, container: str, name: str, corrupt_probability: float = 0.0
+    ) -> Generator:
+        result = yield from measured_call(
+            self.env,
+            lambda: self.service.download(
+                self.endpoint, container, name, corrupt_probability
+            ),
+            self.retry, None, "blob.download",
+        )
+        return result

@@ -1,0 +1,106 @@
+"""Typed client for the queue service."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.client.base import measured_call, with_retries
+from repro.client.retry import RetryPolicy
+from repro.storage.queue import QueueMessage, QueueService
+
+
+class QueueClient:
+    """Queue operations with client timeout + retry."""
+
+    def __init__(
+        self,
+        service: QueueService,
+        timeout_s: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.service = service
+        self.env = service.env
+        self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+
+    # -- raising API ---------------------------------------------------------
+    def add(self, queue: str, payload: object, size_kb: float = 0.5) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.add(queue, payload, size_kb),
+            self.retry, self.timeout_s, "queue.add",
+        )
+        return result
+
+    def peek(self, queue: str) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.peek(queue),
+            self.retry, self.timeout_s, "queue.peek",
+        )
+        return result
+
+    def receive(
+        self, queue: str, visibility_timeout_s: Optional[float] = None
+    ) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.receive(queue, visibility_timeout_s),
+            self.retry, self.timeout_s, "queue.receive",
+        )
+        return result
+
+    def receive_batch(
+        self,
+        queue: str,
+        max_messages: int = 32,
+        visibility_timeout_s: Optional[float] = None,
+    ) -> Generator:
+        """GetMessages: up to 32 messages per round trip (may be empty)."""
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.receive_batch(
+                queue, max_messages, visibility_timeout_s
+            ),
+            self.retry, self.timeout_s, "queue.receive_batch",
+        )
+        return result
+
+    def delete(
+        self, queue: str, message: QueueMessage, pop_receipt: int
+    ) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.delete(queue, message, pop_receipt),
+            self.retry, self.timeout_s, "queue.delete",
+        )
+        return result
+
+    # -- measured API ----------------------------------------------------------
+    def add_measured(
+        self, queue: str, payload: object, size_kb: float = 0.5
+    ) -> Generator:
+        result = yield from measured_call(
+            self.env,
+            lambda: self.service.add(queue, payload, size_kb),
+            self.retry, self.timeout_s, "queue.add",
+        )
+        return result
+
+    def peek_measured(self, queue: str) -> Generator:
+        result = yield from measured_call(
+            self.env,
+            lambda: self.service.peek(queue),
+            self.retry, self.timeout_s, "queue.peek",
+        )
+        return result
+
+    def receive_measured(
+        self, queue: str, visibility_timeout_s: Optional[float] = None
+    ) -> Generator:
+        result = yield from measured_call(
+            self.env,
+            lambda: self.service.receive(queue, visibility_timeout_s),
+            self.retry, self.timeout_s, "queue.receive",
+        )
+        return result

@@ -1,0 +1,35 @@
+"""Client retry policy (2009 StorageClient defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import calibration as cal
+from repro.storage.errors import StorageError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with linear backoff.
+
+    The 2009 StorageClient defaulted to 3 retries with ~1 s backoff;
+    only transport/server-side failures are retryable -- semantic
+    failures (not-found, already-exists, precondition) never are.
+    """
+
+    max_retries: int = cal.STORAGE_RETRY_COUNT
+    backoff_s: float = cal.STORAGE_RETRY_BACKOFF_S
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether ``attempt`` (0-based) may be retried after ``error``."""
+        if attempt >= self.max_retries:
+            return False
+        return isinstance(error, StorageError) and error.retryable
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt + 1``."""
+        return self.backoff_s * (attempt + 1)
+
+
+#: Policy that never retries (used to expose raw service behaviour).
+NO_RETRY = RetryPolicy(max_retries=0)

@@ -1,0 +1,117 @@
+"""Typed client for the table service."""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro import calibration as cal
+from repro.client.base import measured_call, with_retries
+from repro.client.retry import RetryPolicy
+from repro.storage.table import Entity, TableService
+
+
+class TableClient:
+    """Table operations with client timeout + retry (StorageClient style).
+
+    ``*_measured`` variants return ``(result, OperationOutcome)`` and
+    never raise; they are what the benchmark drivers use.
+    """
+
+    def __init__(
+        self,
+        service: TableService,
+        timeout_s: float = cal.TABLE_CLIENT_TIMEOUT_S,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.service = service
+        self.env = service.env
+        self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+
+    # -- raising API ---------------------------------------------------------
+    def insert(self, table: str, entity: Entity) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.insert(table, entity),
+            self.retry, self.timeout_s, "table.insert",
+        )
+        return result
+
+    def query(self, table: str, pk: str, rk: str) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.query(table, pk, rk),
+            self.retry, self.timeout_s, "table.query",
+        )
+        return result
+
+    def update(
+        self, table: str, entity: Entity, if_match: Optional[int] = None
+    ) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.update(table, entity, if_match),
+            self.retry, self.timeout_s, "table.update",
+        )
+        return result
+
+    def delete(self, table: str, pk: str, rk: str) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.delete(table, pk, rk),
+            self.retry, self.timeout_s, "table.delete",
+        )
+        return result
+
+    def query_by_property(
+        self, table: str, pk: str, predicate: Callable[[Entity], bool]
+    ) -> Generator:
+        result = yield from with_retries(
+            self.env,
+            lambda: self.service.query_by_property(table, pk, predicate),
+            self.retry, self.timeout_s, "table.scan",
+        )
+        return result
+
+    # -- measured API ----------------------------------------------------------
+    def insert_measured(self, table: str, entity: Entity) -> Generator:
+        result = yield from measured_call(
+            self.env,
+            lambda: self.service.insert(table, entity),
+            self.retry, self.timeout_s, "table.insert",
+        )
+        return result
+
+    def query_measured(self, table: str, pk: str, rk: str) -> Generator:
+        result = yield from measured_call(
+            self.env,
+            lambda: self.service.query(table, pk, rk),
+            self.retry, self.timeout_s, "table.query",
+        )
+        return result
+
+    def update_measured(self, table: str, entity: Entity) -> Generator:
+        result = yield from measured_call(
+            self.env,
+            lambda: self.service.update(table, entity),
+            self.retry, self.timeout_s, "table.update",
+        )
+        return result
+
+    def delete_measured(self, table: str, pk: str, rk: str) -> Generator:
+        result = yield from measured_call(
+            self.env,
+            lambda: self.service.delete(table, pk, rk),
+            self.retry, self.timeout_s, "table.delete",
+        )
+        return result
+
+    def scan_measured(
+        self, table: str, pk: str, predicate: Callable[[Entity], bool]
+    ) -> Generator:
+        result = yield from measured_call(
+            self.env,
+            lambda: self.service.query_by_property(table, pk, predicate),
+            self.retry, self.timeout_s, "table.scan",
+        )
+        return result

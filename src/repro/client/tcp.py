@@ -1,0 +1,78 @@
+"""TCP internal endpoints between VM instances (Section 4.2).
+
+Azure lets a deployment declare internal TCP endpoints so instances can
+talk point-to-point without going through the storage services.  The
+paper measures (Fig. 4) the round-trip of 1 byte and (Fig. 5) the
+bandwidth of a 2 GB transfer between paired small VMs.
+
+Latency samples come from the placement-conditioned latency model;
+bandwidth transfers are real flows on the shared network, contending
+with whatever background traffic occupies the path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.cluster.vm import VMInstance
+from repro.network.flows import FlowNetwork
+from repro.network.latency import LatencyModel
+from repro.network.topology import Datacenter
+
+
+class TcpEndpointPair:
+    """A client/server VM pair connected through internal endpoints."""
+
+    def __init__(
+        self,
+        network: FlowNetwork,
+        datacenter: Datacenter,
+        latency: LatencyModel,
+        client: VMInstance,
+        server: VMInstance,
+    ) -> None:
+        if client.node is None or server.node is None:
+            raise ValueError("both VMs must be placed before connecting")
+        self.network = network
+        self.env = network.env
+        self.datacenter = datacenter
+        self.latency = latency
+        self.client = client
+        self.server = server
+
+    @property
+    def same_rack(self) -> bool:
+        return self.datacenter.same_rack(
+            self.client.node.host, self.server.node.host
+        )
+
+    def ping(self) -> Generator:
+        """One-byte round trip; returns the RTT in seconds."""
+        rtt = self.latency.sample_rtt(same_rack=self.same_rack)
+        yield self.env.timeout(rtt)
+        return rtt
+
+    def send(self, size_mb: float, cap_mbps: Optional[float] = None) -> Generator:
+        """Send ``size_mb`` from client to server; returns measured MB/s.
+
+        The handshake costs one RTT; the payload then rides the flow
+        network along the physical path between the two hosts.
+        """
+        if size_mb <= 0:
+            raise ValueError(f"size_mb must be > 0, got {size_mb}")
+        start = self.env.now
+        rtt = self.latency.sample_rtt(same_rack=self.same_rack)
+        yield self.env.timeout(rtt)
+        path = self.datacenter.path(
+            self.client.node.host, self.server.node.host
+        )
+        if path:
+            flow = self.network.transfer(
+                path, size_mb, cap=cap_mbps, label="tcp-endpoint"
+            )
+            yield flow.done
+        else:
+            # Same host: memory-speed copy, bounded by the bus model.
+            yield self.env.timeout(size_mb / 2000.0)
+        elapsed = self.env.now - start
+        return size_mb / elapsed

@@ -1,0 +1,109 @@
+"""Sporadic host degradation: the cause of VM execution timeouts.
+
+Section 5.2 reports tasks that "seemingly execute normally, not fail
+explicitly, but [run] much slower than other similar tasks" -- over 4x
+slower, sporadically, affecting up to ~16% of a day's executions.  The
+usual culprits on a shared fabric are noisy neighbours, storage-layer
+hiccups and host-level maintenance.
+
+We model a daily degraded-fraction process: each simulated day ``d`` a
+fraction ``f_d`` of the fleet is marked slow (guest compute stretched by
+``MODIS_DEGRADED_SLOWDOWN``).  Most days ``f_d`` is a tiny base rate; on
+rare *epidemic* days it jumps to a Beta-distributed slice of the fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro import calibration as cal
+from repro.cluster.vm import VMInstance
+from repro.simcore import Environment
+
+SECONDS_PER_DAY = 86_400.0
+
+
+class DegradationModel:
+    """Drives per-day degradation of a VM fleet.
+
+    Day severities are sampled lazily and memoized, so analyses can ask
+    for the schedule without running the process, and the process and
+    the analysis always agree.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: np.random.Generator,
+        slowdown: float = cal.MODIS_DEGRADED_SLOWDOWN,
+        base_fraction: float = cal.MODIS_DAILY_DEGRADED_BASE,
+        epidemic_rate: float = cal.MODIS_EPIDEMIC_DAY_RATE,
+        severity_beta: tuple = cal.MODIS_EPIDEMIC_SEVERITY_BETA,
+        severity_scale: float = cal.MODIS_EPIDEMIC_SEVERITY_SCALE,
+    ) -> None:
+        if slowdown <= 1.0:
+            raise ValueError("slowdown must exceed 1.0")
+        if not 0 <= epidemic_rate <= 1:
+            raise ValueError("epidemic_rate must be a probability")
+        self.env = env
+        self.rng = rng
+        self.slowdown = slowdown
+        self.base_fraction = base_fraction
+        self.epidemic_rate = epidemic_rate
+        self.severity_beta = severity_beta
+        self.severity_scale = severity_scale
+        self._daily_fraction: Dict[int, float] = {}
+        self._epidemic: Dict[int, bool] = {}
+
+    # -- schedule ------------------------------------------------------------
+    def is_epidemic_day(self, day: int) -> bool:
+        self.daily_fraction(day)
+        return self._epidemic[day]
+
+    def daily_fraction(self, day: int) -> float:
+        """Fraction of the fleet degraded on ``day`` (memoized)."""
+        if day not in self._daily_fraction:
+            epidemic = bool(self.rng.random() < self.epidemic_rate)
+            if epidemic:
+                a, b = self.severity_beta
+                frac = float(self.rng.beta(a, b)) * self.severity_scale
+            else:
+                frac = float(self.rng.exponential(self.base_fraction))
+            self._epidemic[day] = epidemic
+            self._daily_fraction[day] = min(frac, 0.5)
+        return self._daily_fraction[day]
+
+    def degraded_count(self, day: int, fleet_size: int) -> int:
+        """Number of degraded workers on ``day`` (stochastic rounding so
+        sub-worker fractions still contribute in expectation)."""
+        expected = self.daily_fraction(day) * fleet_size
+        count = int(expected)
+        if self.rng.random() < (expected - count):
+            count += 1
+        return min(count, fleet_size)
+
+    # -- driving a fleet ---------------------------------------------------
+    def run(self, vms: Sequence[VMInstance]):
+        """Simulation process: re-rolls the degraded subset at each day
+        boundary.  Start with ``env.process(model.run(fleet))``."""
+        vms = list(vms)
+        while True:
+            day = int(self.env.now // SECONDS_PER_DAY)
+            self.apply_day(day, vms)
+            next_boundary = (day + 1) * SECONDS_PER_DAY
+            yield self.env.timeout(next_boundary - self.env.now)
+
+    def apply_day(self, day: int, vms: Sequence[VMInstance]) -> List[VMInstance]:
+        """Mark this day's degraded subset; returns the slow VMs."""
+        count = self.degraded_count(day, len(vms))
+        for vm in vms:
+            vm.slowdown = 1.0
+        if count == 0:
+            return []
+        idx = self.rng.choice(len(vms), size=count, replace=False)
+        slow = [vms[i] for i in idx]
+        for vm in slow:
+            vm.slowdown = self.slowdown
+        return slow

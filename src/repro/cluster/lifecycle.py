@@ -1,0 +1,92 @@
+"""Deployment-phase timing model, calibrated to Table 1.
+
+Interpretation of the anchors (see EXPERIMENTS.md for the full note):
+the paper's Run/Add columns track the deployment becoming usable --
+which we read as the *first* instance turning ready -- while observation
+(3) separately reports an ~4 minute stagger between the 1st and the 4th
+instance.  We therefore sample a per-deployment base duration from the
+(role, size, phase) anchor and add a per-instance stagger on top.
+
+Durations are lognormal (strictly positive, right-skewed, matching the
+paper's mean/std), except Delete, whose 6 +/- 5 s anchor is modelled as a
+truncated normal to keep its small mean from skewing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import calibration as cal
+from repro.simcore import Distribution
+
+
+class LifecycleTimingModel:
+    """Samples phase durations for deployments of a given role and size."""
+
+    PHASES = ("create", "run", "add", "suspend", "delete")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._dists: Dict[Tuple[str, str, str], Distribution] = {}
+        for (role, size), phases in cal.VM_PHASE_ANCHORS.items():
+            for phase, (mean, std) in phases.items():
+                if phase == "delete":
+                    dist = Distribution.normal(
+                        mean, std, minimum=1.0, maximum=mean + 6 * std
+                    )
+                else:
+                    dist = Distribution.lognormal_from_mean_std(
+                        float(mean), float(max(std, 1e-6))
+                    )
+                self._dists[(role, size, phase)] = dist
+        self._stagger = Distribution.normal(
+            cal.VM_READY_STAGGER_MEAN_S,
+            cal.VM_READY_STAGGER_STD_S,
+            minimum=5.0,
+        )
+
+    def _dist(self, role: str, size: str, phase: str) -> Distribution:
+        try:
+            return self._dists[(role, size, phase)]
+        except KeyError:
+            raise ValueError(
+                f"no timing anchor for role={role!r} size={size!r} phase={phase!r}"
+            ) from None
+
+    # -- phase samplers ------------------------------------------------------
+    def create_duration(self, role: str, size: str, package_mb: float) -> float:
+        """Create = control-plane anchor adjusted for package size.
+
+        The anchors correspond to the paper's ~5 MB test package
+        (observation (5): a 1.2 MB package starts ~30 s faster).
+        """
+        base = self._dist(role, size, "create").sample(self.rng)
+        delta_mb = package_mb - cal.VM_TEST_PACKAGE_MB
+        return max(base + delta_mb / cal.VM_CREATE_PACKAGE_BW_MBPS, 5.0)
+
+    def ready_times(self, role: str, size: str, count: int, phase: str = "run") -> List[float]:
+        """Per-instance ready offsets for a run/add request.
+
+        The first instance becomes ready at the sampled anchor; each
+        subsequent instance lags by a fresh stagger sample (observation
+        (3): ~4 minutes between the 1st and 4th small instance).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        first = self._dist(role, size, phase).sample(self.rng)
+        times = [first]
+        for _ in range(count - 1):
+            times.append(times[-1] + self._stagger.sample(self.rng))
+        return times
+
+    def suspend_duration(self, role: str, size: str) -> float:
+        return max(self._dist(role, size, "suspend").sample(self.rng), 0.5)
+
+    def delete_duration(self, role: str, size: str) -> float:
+        return max(self._dist(role, size, "delete").sample(self.rng), 0.5)
+
+    def startup_fails(self) -> bool:
+        """Whether this run request hits the 2.6% startup failure."""
+        return bool(self.rng.random() < cal.VM_STARTUP_FAILURE_RATE)

@@ -1,0 +1,60 @@
+"""Physical compute nodes."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.vm import VMInstance
+from repro.network.topology import Host
+
+
+class Node:
+    """A physical machine hosting VMs, backed by a network Host.
+
+    2009 Azure hosts exposed 8 cores to the fabric (an extra-large VM
+    occupied a whole host).
+    """
+
+    def __init__(self, host: Host, cores: int = 8) -> None:
+        if cores < 1:
+            raise ValueError("node needs at least one core")
+        self.host = host
+        self.cores = cores
+        self.vms: List[VMInstance] = []
+
+    @property
+    def used_cores(self) -> int:
+        return sum(vm.size.cores for vm in self.vms)
+
+    @property
+    def free_cores(self) -> int:
+        return self.cores - self.used_cores
+
+    def can_host(self, vm: VMInstance) -> bool:
+        return vm.size.cores <= self.free_cores
+
+    def attach(self, vm: VMInstance) -> None:
+        if not self.can_host(vm):
+            raise ValueError(
+                f"node {self.host.name} cannot host {vm.name}: "
+                f"{self.free_cores} cores free, {vm.size.cores} needed"
+            )
+        self.vms.append(vm)
+        vm.node = self
+
+    def detach(self, vm: VMInstance) -> None:
+        try:
+            self.vms.remove(vm)
+        except ValueError:
+            raise ValueError(f"{vm.name} is not on node {self.host.name}") from None
+        vm.node = None
+
+    @property
+    def rack_index(self) -> int:
+        return self.host.rack.index
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.host.name} {self.used_cores}/{self.cores} cores"
+            f" vms={len(self.vms)}>"
+        )

@@ -1,0 +1,37 @@
+"""VM size SKUs (Windows Azure, 2009 CTP)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro import calibration as cal
+
+
+@dataclass(frozen=True)
+class VMSize:
+    """One compute SKU."""
+
+    name: str
+    cores: int
+    #: Relative CPU speed of one core (all SKUs used the same 1.6 GHz
+    #: cores in 2009; kept for extension).
+    core_speed: float = 1.0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+VM_SIZES: Dict[str, VMSize] = {
+    name: VMSize(name=name, cores=cores)
+    for name, cores in cal.VM_CORES.items()
+}
+
+
+def get_size(name: str) -> VMSize:
+    try:
+        return VM_SIZES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown VM size {name!r}; expected one of {sorted(VM_SIZES)}"
+        ) from None

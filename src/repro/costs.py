@@ -1,0 +1,171 @@
+"""The 2009/2010 Azure price book and cost accounting.
+
+Section 5.1 contains the paper's economic argument: "In Windows Azure
+the cost to store 1 GB for 1 month is nearly the same as it does to run
+a small VM instance for one hour so storing intermediate products to
+conserve computation is a valid strategy as long as the data is used
+within a month."  This module encodes the launch price book, computes
+what a simulated campaign cost, and answers the store-vs-recompute
+question quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro import calibration as cal
+from repro.modis.app import ModisRunResult
+from repro.modis.tasks import TaskKind
+
+#: Windows Azure commercial launch prices (February 2010), USD.
+PRICE_SMALL_VM_HOUR = 0.12
+PRICE_GB_STORED_MONTH = 0.15
+PRICE_PER_10K_TRANSACTIONS = 0.01
+PRICE_GB_EGRESS = 0.15
+PRICE_GB_INGRESS = 0.10
+
+#: Azure billed cores linearly: medium/large/XL = 2/4/8 small-hours.
+VM_HOUR_MULTIPLIER: Dict[str, float] = {
+    size: cores for size, cores in cal.VM_CORES.items()
+}
+
+HOURS_PER_MONTH = 730.0
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Dollars by meter."""
+
+    compute: float = 0.0
+    storage: float = 0.0
+    transactions: float = 0.0
+    bandwidth: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.storage + self.transactions + self.bandwidth
+
+    def __str__(self) -> str:
+        return (
+            f"${self.total:,.2f} (compute ${self.compute:,.2f}, "
+            f"storage ${self.storage:,.2f}, "
+            f"transactions ${self.transactions:,.2f}, "
+            f"bandwidth ${self.bandwidth:,.2f})"
+        )
+
+
+def vm_hours_cost(hours: float, size: str = "small") -> float:
+    """Compute cost of ``hours`` of one VM of ``size``."""
+    if hours < 0:
+        raise ValueError("hours must be >= 0")
+    try:
+        multiplier = VM_HOUR_MULTIPLIER[size]
+    except KeyError:
+        raise ValueError(f"unknown VM size {size!r}") from None
+    return hours * multiplier * PRICE_SMALL_VM_HOUR
+
+
+def storage_cost(gb: float, months: float) -> float:
+    """Cost of keeping ``gb`` in blob/table storage for ``months``."""
+    if gb < 0 or months < 0:
+        raise ValueError("gb and months must be >= 0")
+    return gb * months * PRICE_GB_STORED_MONTH
+
+
+def transaction_cost(count: int) -> float:
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    return count / 10_000.0 * PRICE_PER_10K_TRANSACTIONS
+
+
+def gb_month_vs_vm_hour() -> float:
+    """The paper's Section 5.1 observation, as a ratio (~1)."""
+    return PRICE_GB_STORED_MONTH / PRICE_SMALL_VM_HOUR
+
+
+@dataclass(frozen=True)
+class ReuseAdvice:
+    """Store-vs-recompute verdict for one intermediate product."""
+
+    store_cost_per_month: float
+    recompute_cost: float
+    breakeven_months: float
+
+    @property
+    def store_if_reused_within_month(self) -> bool:
+        """True when storing wins for ~month-scale reuse.  The paper's
+        "nearly the same" prices give an hour-per-GB product a
+        breakeven of 0.8 months, which it rounds to "within a month"."""
+        return self.breakeven_months >= 0.75
+
+
+def reuse_breakeven(
+    product_gb: float,
+    recompute_vm_hours: float,
+    size: str = "small",
+) -> ReuseAdvice:
+    """How long may a cached product sit before caching loses?
+
+    The paper's rule of thumb: with 1 GB-month ~= 1 small-VM-hour, any
+    product that takes at least an hour per GB to recompute is worth
+    storing for a month.
+    """
+    if product_gb <= 0:
+        raise ValueError("product_gb must be > 0")
+    if recompute_vm_hours < 0:
+        raise ValueError("recompute_vm_hours must be >= 0")
+    monthly = storage_cost(product_gb, 1.0)
+    recompute = vm_hours_cost(recompute_vm_hours, size)
+    return ReuseAdvice(
+        store_cost_per_month=monthly,
+        recompute_cost=recompute,
+        breakeven_months=recompute / monthly if monthly > 0 else float("inf"),
+    )
+
+
+#: Mean storage transactions per task execution (queue receive/delete,
+#: status updates, blob checks) -- used by the campaign estimate.
+TRANSACTIONS_PER_EXECUTION = 8
+
+#: Mean intermediate-product size per completed compute task, GB.
+PRODUCT_GB_PER_TASK = 0.05
+
+
+def campaign_cost(
+    result: ModisRunResult,
+    fleet_size: int = cal.MODIS_WORKER_COUNT,
+    retained_months: float = 1.0,
+) -> CostBreakdown:
+    """Price a simulated ModisAzure campaign.
+
+    Compute is billed for the standing fleet over the campaign window
+    (ModisAzure kept ~200 instances deployed); storage for intermediate
+    products retained ``retained_months``; transactions per execution.
+    """
+    campaign_hours = result.campaign_days * 24.0
+    compute = vm_hours_cost(campaign_hours, "small") * fleet_size
+    compute_tasks = sum(
+        1 for t in result.tasks
+        if t.kind is not TaskKind.SOURCE_DOWNLOAD and t.completed
+    )
+    stored_gb = compute_tasks * PRODUCT_GB_PER_TASK
+    storage = storage_cost(stored_gb, retained_months)
+    transactions = transaction_cost(
+        result.total_executions * TRANSACTIONS_PER_EXECUTION
+    )
+    return CostBreakdown(
+        compute=compute,
+        storage=storage,
+        transactions=transactions,
+        bandwidth=0.0,  # intra-datacenter traffic was free
+    )
+
+
+def wasted_compute_cost(result: ModisRunResult) -> float:
+    """Dollars burned in executions the monitor killed (Section 5.2's
+    motivation for tighter timeout bounds)."""
+    from repro.modis.analysis import slowdown_cost_estimate
+
+    wasted_hours = slowdown_cost_estimate(result) / 3600.0
+    return vm_hours_cost(wasted_hours, "small")

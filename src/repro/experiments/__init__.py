@@ -1,0 +1,17 @@
+"""Experiment modules: one per table/figure of the paper.
+
+Each module exposes ``run(scale=1.0, seed=0) -> ExperimentReport``;
+``scale`` shrinks sample counts for quick runs (1.0 = the paper's
+protocol).  The registry maps experiment ids to their runners; the CLI
+(``python -m repro``) drives them.
+"""
+
+from repro.experiments.report import ExperimentReport
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,34 @@
+"""The common result container every experiment returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.analysis import ShapeCheck
+
+
+@dataclass
+class ExperimentReport:
+    """Rendered output plus machine-readable results for one experiment."""
+
+    experiment_id: str
+    title: str
+    body: str
+    checks: ShapeCheck = field(default_factory=ShapeCheck)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return self.checks.all_passed
+
+    def render(self) -> str:
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            self.body,
+        ]
+        if self.checks.results:
+            parts.append("")
+            parts.append("Shape checks vs paper:")
+            parts.append(self.checks.render())
+        return "\n".join(parts)

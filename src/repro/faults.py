@@ -1,0 +1,119 @@
+"""Scriptable fault injection for storage services.
+
+The paper's Section 6.3 lesson — "errors that did not occur at lower
+scale will begin to become common as scale increases" — makes fault
+drills a first-class need.  A :class:`FaultInjector` attaches to one or
+more partition servers and applies time-windowed faults:
+
+* ``server_busy_storm`` — each request is rejected with HTTP-503
+  semantics with probability ``magnitude`` (clients retry/back off);
+* ``latency_spike``     — each request pays an extra exponential delay
+  with mean ``magnitude`` seconds;
+* ``blackout``          — every request fails with a connection error.
+
+Windows are declarative, so drills are reproducible and the same
+schedule can be replayed against different retry policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List
+
+import numpy as np
+
+from repro.simcore import Environment
+from repro.storage.errors import ConnectionFailureError, ServerBusyError
+from repro.storage.partition import OpSpec, PartitionServer
+
+FAULT_KINDS = ("server_busy_storm", "latency_spike", "blackout")
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One scheduled fault episode."""
+
+    start_s: float
+    duration_s: float
+    kind: str
+    #: Rejection probability (storm), mean extra seconds (spike);
+    #: ignored for blackout.
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected {FAULT_KINDS}"
+            )
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if self.kind == "server_busy_storm" and not 0 <= self.magnitude <= 1:
+            raise ValueError("storm magnitude is a probability")
+        if self.kind == "latency_spike" and self.magnitude <= 0:
+            raise ValueError("spike magnitude is a positive delay")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def covers(self, now: float) -> bool:
+        return self.start_s <= now < self.end_s
+
+
+@dataclass
+class FaultStats:
+    rejections: int = 0
+    blackout_failures: int = 0
+    delays_applied: int = 0
+    extra_delay_s: float = 0.0
+
+
+class FaultInjector:
+    """Applies a window schedule to the servers it is attached to."""
+
+    def __init__(self, env: Environment, rng: np.random.Generator) -> None:
+        self.env = env
+        self.rng = rng
+        self.windows: List[FaultWindow] = []
+        self.stats = FaultStats()
+
+    def add_window(
+        self,
+        start_s: float,
+        duration_s: float,
+        kind: str,
+        magnitude: float = 0.0,
+    ) -> FaultWindow:
+        window = FaultWindow(start_s, duration_s, kind, magnitude)
+        self.windows.append(window)
+        return window
+
+    def attach(self, server: PartitionServer) -> None:
+        """Install this injector on a partition server."""
+        if server.fault_injector is not None:
+            raise ValueError(f"{server.name} already has a fault injector")
+        server.fault_injector = self
+
+    def active_windows(self, now: float) -> List[FaultWindow]:
+        return [w for w in self.windows if w.covers(now)]
+
+    # -- the hook the partition server calls ---------------------------------
+    def intercept(self, server: PartitionServer, op: OpSpec) -> Generator:
+        """Applied at request admission; may delay or raise."""
+        for window in self.active_windows(self.env.now):
+            if window.kind == "blackout":
+                self.stats.blackout_failures += 1
+                raise ConnectionFailureError(
+                    f"{server.name}: blackout window"
+                )
+            if window.kind == "server_busy_storm":
+                if self.rng.random() < window.magnitude:
+                    self.stats.rejections += 1
+                    raise ServerBusyError(
+                        f"{server.name}: shed by 503 storm"
+                    )
+            elif window.kind == "latency_spike":
+                delay = float(self.rng.exponential(window.magnitude))
+                self.stats.delays_applied += 1
+                self.stats.extra_delay_s += delay
+                yield self.env.timeout(delay)

@@ -1,0 +1,250 @@
+"""Data-dependent pipeline mode: Fig. 6 as an executable DAG.
+
+The calibrated campaign generator (:mod:`repro.modis.generator`) emits
+independent tasks at Table 2's mix; this module instead builds the
+*structural* pipeline the paper describes: per (tile, day) unit,
+
+    source download (if not cached) -> reprojection (if not cached)
+        -> [aggregation (per request batch)] -> reduction
+
+with results "saved along the way for reuse later so that work is not
+duplicated more than necessary" (Section 5.1).  Reuse is emergent: the
+second request touching a tile/day skips its download and reprojection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.modis.catalog import ModisCatalog
+from repro.modis.tasks import DURATION_DISTS, Task, TaskKind
+from repro.modis.worker import WorkerPool
+from repro.simcore import Environment
+
+_dag_request_ids = itertools.count(1)
+
+
+@dataclass
+class DagRequest:
+    """A portal request in structural mode: region x time span."""
+
+    tiles: Sequence[Tuple[int, int]]
+    day_range: Tuple[int, int]
+    with_reduction: bool = True
+    #: Units per aggregation batch (0 disables aggregation tasks).
+    aggregation_batch: int = 8
+    id: int = field(default_factory=lambda: next(_dag_request_ids))
+
+    def units(self) -> List[Tuple[Tuple[int, int], int]]:
+        lo, hi = self.day_range
+        if hi < lo:
+            raise ValueError(f"empty day range {self.day_range}")
+        return [
+            (tile, day)
+            for tile in self.tiles
+            for day in range(lo, hi + 1)
+        ]
+
+
+@dataclass
+class DagStats:
+    """Where the work went -- and what reuse saved."""
+
+    downloads_issued: int = 0
+    downloads_skipped_cached: int = 0
+    reprojections_issued: int = 0
+    reprojections_skipped_cached: int = 0
+    aggregations_issued: int = 0
+    reductions_issued: int = 0
+    units: int = 0
+
+    @property
+    def tasks_issued(self) -> int:
+        return (
+            self.downloads_issued + self.reprojections_issued
+            + self.aggregations_issued + self.reductions_issued
+        )
+
+
+class DagServiceManager:
+    """Decomposes requests into dependency chains and releases tasks as
+    their predecessors complete (via the worker pool's finish hook)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        pool: WorkerPool,
+        catalog: ModisCatalog,
+        rng: np.random.Generator,
+    ) -> None:
+        self.env = env
+        self.pool = pool
+        self.catalog = catalog
+        self.rng = rng
+        #: Blob names known to exist (source granules / products).
+        self.source_cache: Set[str] = set()
+        self.product_cache: Set[str] = set()
+        self.stats = DagStats()
+        self.tasks: List[Task] = []
+        self._successors: Dict[int, List[Task]] = {}
+        self._pending_deps: Dict[int, int] = {}
+        self.cancelled_tasks = 0
+        if pool.on_task_finished is not None:
+            raise ValueError("worker pool already has a finish hook")
+        pool.on_task_finished = self._task_finished
+
+    # -- request decomposition ------------------------------------------------
+    def submit_request(self, request: DagRequest):
+        """Build and start the request's task DAG (a process generator).
+
+        Without aggregation every unit gets its own reduction; with
+        aggregation, units are grouped and one reduction consumes each
+        aggregate (the "precursor task" of Table 2).  Cached units
+        contribute no upstream task -- their reduction (or aggregate)
+        simply has one dependency fewer.
+        """
+        batch: List[Optional[Task]] = []
+        for tile, day in request.units():
+            self.stats.units += 1
+            chain = self._unit_chain(request, tile, day)
+            if chain:
+                yield from self._start_chain(chain)
+            if not request.with_reduction:
+                continue
+            upstream = chain[-1] if chain else None
+            if request.aggregation_batch:
+                batch.append(upstream)
+                if len(batch) >= request.aggregation_batch:
+                    yield from self._attach_reduction(request, batch)
+                    batch = []
+            else:
+                yield from self._attach_reduction(request, [upstream])
+        if request.with_reduction and batch:
+            yield from self._attach_reduction(request, batch)
+
+    def _unit_chain(
+        self, request: DagRequest, tile: Tuple[int, int], day: int
+    ) -> List[Task]:
+        """[download?] -> reprojection for one (tile, day), honouring
+        the caches."""
+        chain: List[Task] = []
+        product = f"reproj/{tile[0]}-{tile[1]}/{day}"
+        if product in self.product_cache:
+            self.stats.reprojections_skipped_cached += 1
+            return chain
+        granules = self.catalog.granules_for_task(tile, day)
+        missing = [g for g in granules if g.name not in self.source_cache]
+        if missing:
+            download = self._make_task(
+                request, TaskKind.SOURCE_DOWNLOAD, tile, day
+            )
+            download.inputs = [g.name for g in missing]
+            chain.append(download)
+            self.stats.downloads_issued += 1
+        else:
+            self.stats.downloads_skipped_cached += 1
+        reproject = self._make_task(request, TaskKind.REPROJECTION, tile, day)
+        reproject.inputs = [g.name for g in granules]
+        reproject.output = product
+        chain.append(reproject)
+        self.stats.reprojections_issued += 1
+        if len(chain) == 2:
+            self._link(chain[0], chain[1])
+        return chain
+
+    def _attach_reduction(
+        self, request: DagRequest, upstream: List[Optional[Task]]
+    ):
+        """Aggregation (if batched) feeding a reduction over ``upstream``.
+
+        ``None`` entries are cache-satisfied units: they impose no
+        dependency (their product already exists in blob storage).
+        """
+        deps = [t for t in upstream if t is not None]
+        target: Optional[Task] = deps[0] if deps else None
+        if request.aggregation_batch and len(upstream) > 1:
+            agg = self._make_task(
+                request, TaskKind.AGGREGATION, request.tiles[0],
+                request.day_range[0],
+            )
+            agg.output = f"agg/{request.id}/{agg.id}"
+            for dep in deps:
+                self._link(dep, agg)
+            self.stats.aggregations_issued += 1
+            yield from self._maybe_enqueue(agg)
+            target = agg
+        reduction = self._make_task(
+            request, TaskKind.REDUCTION, request.tiles[0],
+            request.day_range[0],
+        )
+        reduction.output = f"reduce/{request.id}/{reduction.id}"
+        if target is not None:
+            self._link(target, reduction)
+        self.stats.reductions_issued += 1
+        yield from self._maybe_enqueue(reduction)
+
+    def _make_task(self, request, kind, tile, day) -> Task:
+        task = Task(
+            kind=kind,
+            request_id=request.id,
+            tile=tile,
+            day_index=day,
+            nominal_duration_s=float(DURATION_DISTS[kind].sample(self.rng)),
+        )
+        self.tasks.append(task)
+        self._pending_deps[task.id] = 0
+        return task
+
+    def _link(self, upstream: Task, downstream: Task) -> None:
+        self._successors.setdefault(upstream.id, []).append(downstream)
+        self._pending_deps[downstream.id] = (
+            self._pending_deps.get(downstream.id, 0) + 1
+        )
+
+    def _start_chain(self, chain: List[Task]):
+        yield from self._maybe_enqueue(chain[0])
+        for task in chain[1:]:
+            yield from self._maybe_enqueue(task)
+
+    def _maybe_enqueue(self, task: Task):
+        if self._pending_deps.get(task.id, 0) == 0:
+            yield from self.pool.submit(task)
+
+    # -- dependency release -----------------------------------------------------
+    def _task_finished(self, task: Task) -> None:
+        if task.completed:
+            self._record_products(task)
+            for successor in self._successors.pop(task.id, []):
+                self._pending_deps[successor.id] -= 1
+                if self._pending_deps[successor.id] == 0:
+                    self.env.process(self.pool.submit(successor))
+        else:
+            # Upstream abandoned: cancel the whole downstream cone.
+            for successor in self._successors.pop(task.id, []):
+                if not successor.finished:
+                    successor.abandoned = True
+                    self.cancelled_tasks += 1
+                    self._task_finished(successor)
+
+    def _record_products(self, task: Task) -> None:
+        if task.kind is TaskKind.SOURCE_DOWNLOAD:
+            self.source_cache.update(task.inputs)
+        elif task.output:
+            self.product_cache.add(task.output)
+            if task.kind is TaskKind.REPROJECTION:
+                # Reprojection also implies its sources were fetched.
+                self.source_cache.update(task.inputs)
+
+    # -- progress ---------------------------------------------------------------
+    @property
+    def all_finished(self) -> bool:
+        return all(t.finished for t in self.tasks)
+
+    def completion_fraction(self) -> float:
+        if not self.tasks:
+            return 1.0
+        return sum(t.finished for t in self.tasks) / len(self.tasks)

@@ -1,0 +1,147 @@
+"""Per-execution outcome model, calibrated to Table 2.
+
+Each execution draws one outcome from a per-kind categorical.  The
+categoricals are derived from Table 2's per-cause rates (which are
+fractions of ALL executions) by conditioning on the kind the cause
+belongs to:
+
+* ``unknown_null_log`` (139,609 rows) EQUALS the source-download
+  execution count (139,609): the download task type logged nothing, so
+  every download execution lands in that row.  Downloads are modelled
+  as always-null-log and terminal (the manager verifies the blob exists
+  rather than reading the log).
+* ``download_source_failed`` (125,164 rows) therefore belongs to the
+  *data-collection phase* of the compute kinds, which fetch from FTP
+  when the source is not cached; it strikes ~4.3% of their executions
+  and retries.
+* ``blob_already_exists`` happens when a worker commits an output
+  another worker already produced -- only compute kinds, and the task is
+  complete despite the logged failure (no retry).
+* ``user_code_error`` absorbs the probability mass Table 2 omits
+  ("primarily related to user-provided MATLAB code"): Success (65.50%)
+  plus the enumerated causes only reach ~92%.  It applies to reduction
+  tasks (where user code runs) and does not retry.
+* ``vm_execution_timeout`` is NOT injected here: it emerges from the
+  degradation model plus the task monitor's 4x kill rule.
+
+Everything else is a small-rate transient failure applied to all kinds
+and retried.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import calibration as cal
+from repro.modis.tasks import TaskKind, TaskOutcome
+
+#: Share of executions that are compute kinds (not source downloads).
+_COMPUTE_SHARE = 1.0 - cal.MODIS_TASK_MIX["source_download"]
+
+#: Transient causes striking the compute kinds, conditioned on a compute
+#: execution (Table 2 rows are fractions of ALL executions).
+_COMMON: Dict[TaskOutcome, float] = {
+    outcome: cal.MODIS_FAILURE_RATES[key] / _COMPUTE_SHARE
+    for outcome, key in (
+        (TaskOutcome.UNKNOWN_FAILURE, "unknown_failure"),
+        (TaskOutcome.CONNECTION_FAILURE, "connection_failure"),
+        (TaskOutcome.OPERATION_TIMEOUT, "operation_timeout"),
+        (TaskOutcome.CORRUPT_BLOB_READ, "corrupt_blob_read"),
+        (TaskOutcome.SERVER_BUSY, "server_busy"),
+        (TaskOutcome.BLOB_READ_FAIL, "blob_read_fail"),
+        (TaskOutcome.NONEXISTENT_SOURCE_BLOB, "nonexistent_source_blob"),
+        (TaskOutcome.UNABLE_TO_READ_INPUT, "unable_to_read_input"),
+        (TaskOutcome.BAD_IMAGE_FORMAT, "bad_image_format"),
+        (TaskOutcome.TRANSPORT_ERROR, "transport_error"),
+        (
+            TaskOutcome.INTERNAL_STORAGE_CLIENT_ERROR,
+            "internal_storage_client_error",
+        ),
+        (TaskOutcome.OUT_OF_DISK_SPACE, "out_of_disk_space"),
+    )
+}
+
+#: download_source_failed: data-collection FTP failures of compute kinds.
+_DOWNLOAD_FAIL_RATE = (
+    cal.MODIS_FAILURE_RATES["download_source_failed"] / _COMPUTE_SHARE
+)
+
+#: blob_already_exists as a fraction of compute executions.
+_BLOB_EXISTS_RATE = (
+    cal.MODIS_FAILURE_RATES["blob_already_exists"] / _COMPUTE_SHARE
+)
+
+#: user-code (MATLAB) errors: the mass Table 2 omits, conditioned on
+#: reduction executions.
+_ENUMERATED = (
+    cal.MODIS_SUCCESS_RATE
+    + sum(cal.MODIS_FAILURE_RATES.values())
+)
+_USER_CODE_RATE = max(1.0 - _ENUMERATED, 0.0) / cal.MODIS_TASK_MIX["reduction"]
+
+
+class FailureModel:
+    """Samples one outcome per task execution."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._tables: Dict[TaskKind, Tuple[List[TaskOutcome], np.ndarray]] = {}
+        for kind in TaskKind:
+            outcomes, probs = self._build(kind)
+            self._tables[kind] = (outcomes, probs)
+
+    def _build(self, kind: TaskKind) -> Tuple[List[TaskOutcome], np.ndarray]:
+        if kind is TaskKind.SOURCE_DOWNLOAD:
+            # Downloads always land in the null-log row; the task itself
+            # is complete (the manager checks the blob, not the log).
+            return [TaskOutcome.UNKNOWN_NULL_LOG], np.asarray([1.0])
+        probs: Dict[TaskOutcome, float] = dict(_COMMON)
+        probs[TaskOutcome.DOWNLOAD_SOURCE_FAILED] = _DOWNLOAD_FAIL_RATE
+        probs[TaskOutcome.BLOB_ALREADY_EXISTS] = _BLOB_EXISTS_RATE
+        if kind is TaskKind.REDUCTION:
+            probs[TaskOutcome.USER_CODE_ERROR] = _USER_CODE_RATE
+        total = sum(probs.values())
+        if total >= 1.0:
+            raise ValueError(
+                f"{kind}: failure mass {total:.3f} leaves no success"
+            )
+        probs[TaskOutcome.SUCCESS] = 1.0 - total
+        outcomes = list(probs)
+        return outcomes, np.asarray([probs[o] for o in outcomes])
+
+    def sample(self, kind: TaskKind) -> TaskOutcome:
+        outcomes, probs = self._tables[kind]
+        idx = int(self.rng.choice(len(outcomes), p=probs))
+        return outcomes[idx]
+
+    def success_probability(self, kind: TaskKind) -> float:
+        outcomes, probs = self._tables[kind]
+        try:
+            return float(probs[outcomes.index(TaskOutcome.SUCCESS)])
+        except ValueError:
+            return 0.0  # downloads: every execution logs null
+
+    def expected_executions_per_task(self, kind: TaskKind) -> float:
+        """Mean executions until a terminal outcome (success, null-log
+        download, blob-already-exists, or user-code error)."""
+        from repro.modis.tasks import TERMINAL_FAILURES
+
+        outcomes, probs = self._tables[kind]
+        terminal = 0.0
+        for outcome, p in zip(outcomes, probs):
+            if outcome is TaskOutcome.SUCCESS or outcome in TERMINAL_FAILURES:
+                terminal += float(p)
+        return 1.0 / terminal
+
+
+def distinct_task_mix(model: FailureModel) -> Dict[TaskKind, float]:
+    """Distinct-task mix that reproduces Table 2's *execution* mix once
+    retries are accounted for."""
+    weights = {}
+    for kind in TaskKind:
+        exec_share = cal.MODIS_TASK_MIX[kind.value]
+        weights[kind] = exec_share / model.expected_executions_per_task(kind)
+    total = sum(weights.values())
+    return {kind: w / total for kind, w in weights.items()}

@@ -1,0 +1,179 @@
+"""Operational monitoring: Section 6.3's lesson as library code.
+
+"Build a robust logging and monitoring infrastructure early in the
+project ... errors that did not occur at lower scale will begin to
+become common as scale increases."
+
+:class:`MetricsRegistry` provides counters, gauges and latency tallies
+with hierarchical names; :class:`Sampler` snapshots gauge callbacks onto
+time series at a fixed cadence; :func:`render_dashboard` prints the
+operator's view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import ascii_table
+from repro.simcore import Environment, Tally, TimeSeries
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, by: float = 1.0) -> None:
+        if by < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += by
+
+
+class MetricsRegistry:
+    """Namespaced counters, gauges and latency tallies."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._tallies: Dict[str, Tally] = {}
+
+    # -- counters ----------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    # -- gauges ------------------------------------------------------------
+    def register_gauge(self, name: str, read: Callable[[], float]) -> None:
+        """A gauge is a live callback (queue length, active requests)."""
+        if name in self._gauges:
+            raise ValueError(f"gauge {name!r} already registered")
+        self._gauges[name] = read
+
+    def read_gauge(self, name: str) -> float:
+        try:
+            return float(self._gauges[name]())
+        except KeyError:
+            raise KeyError(f"no gauge named {name!r}") from None
+
+    def gauge_names(self) -> List[str]:
+        return sorted(self._gauges)
+
+    # -- latency tallies ------------------------------------------------------
+    def tally(self, name: str) -> Tally:
+        tally = self._tallies.get(name)
+        if tally is None:
+            tally = Tally(name)
+            self._tallies[name] = tally
+        return tally
+
+    def snapshot(self) -> Dict[str, float]:
+        """All current values, flat."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[f"counter:{name}"] = counter.value
+        for name in self._gauges:
+            out[f"gauge:{name}"] = self.read_gauge(name)
+        for name, tally in self._tallies.items():
+            if len(tally):
+                out[f"latency_p50:{name}"] = tally.percentile(50)
+                out[f"latency_p95:{name}"] = tally.percentile(95)
+        return out
+
+
+class Sampler:
+    """Periodically samples every gauge onto a TimeSeries."""
+
+    def __init__(
+        self,
+        env: Environment,
+        registry: MetricsRegistry,
+        interval_s: float = 60.0,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.env = env
+        self.registry = registry
+        self.interval_s = interval_s
+        self.series: Dict[str, TimeSeries] = {}
+        self._proc = None
+
+    def start(self):
+        if self._proc is None:
+            self._proc = self.env.process(self._run())
+        return self._proc
+
+    def _run(self):
+        while True:
+            now = self.env.now
+            for name in self.registry.gauge_names():
+                series = self.series.get(name)
+                if series is None:
+                    series = TimeSeries(name)
+                    self.series[name] = series
+                series.record(now, self.registry.read_gauge(name))
+            yield self.env.timeout(self.interval_s)
+
+    def peak(self, name: str) -> float:
+        series = self.series.get(name)
+        if series is None or len(series) == 0:
+            raise KeyError(f"no samples for gauge {name!r}")
+        return float(series.values.max())
+
+
+def attach_partition_server(
+    registry: MetricsRegistry,
+    server,
+    prefix: str = "",
+) -> None:
+    """Register a partition server's live state as gauges.
+
+    Exposes active requests, in-flight payload and CPU queue depth under
+    ``prefix`` (defaults to the server's name).
+    """
+    base = prefix or server.name
+    registry.register_gauge(
+        f"{base}.active", lambda s=server: s.active_requests
+    )
+    registry.register_gauge(
+        f"{base}.inflight_mb", lambda s=server: s.inflight_payload_mb
+    )
+    registry.register_gauge(
+        f"{base}.cpu_queue", lambda s=server: len(s.cpu.queue)
+    )
+
+
+def attach_worker_pool(registry: MetricsRegistry, pool) -> None:
+    """Register a ModisAzure worker pool's state as gauges/counters."""
+    registry.register_gauge("pool.outstanding", lambda: pool.outstanding)
+    registry.register_gauge(
+        "pool.degraded_workers",
+        lambda: sum(1 for w in pool.workers if w.is_degraded),
+    )
+    registry.register_gauge("pool.completed", lambda: pool.tasks_completed)
+    registry.register_gauge("pool.abandoned", lambda: pool.tasks_abandoned)
+
+
+def render_dashboard(
+    registry: MetricsRegistry,
+    title: str = "service dashboard",
+    sampler: Optional[Sampler] = None,
+) -> str:
+    """An operator-readable snapshot of every metric."""
+    rows = []
+    snapshot = registry.snapshot()
+    for name in sorted(snapshot):
+        rows.append([name, snapshot[name]])
+    if sampler is not None:
+        for name in sorted(sampler.series):
+            series = sampler.series[name]
+            if len(series):
+                rows.append([f"peak:{name}", float(series.values.max())])
+    if not rows:
+        rows.append(["(no metrics)", 0])
+    return ascii_table(["metric", "value"], rows, title=title)

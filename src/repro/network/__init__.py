@@ -1,0 +1,32 @@
+"""Datacenter network substrate.
+
+A flow-level network model: transfers are *flows* that traverse a path of
+capacitated :class:`Link` objects; active flows share each link by
+**max-min fairness** (progressive filling), recomputed whenever a flow
+starts or finishes.  This is the standard abstraction for simulating TCP
+throughput at datacenter scale without per-packet cost.
+
+The topology mirrors what the paper's measurements imply: hosts with
+GigE NICs grouped into racks behind top-of-rack switches, rack uplinks
+oversubscribed into an aggregation layer, and small-instance VMs capped
+at 100 Mbit/s by the hypervisor (Section 6.1).
+"""
+
+from repro.network.links import Link
+from repro.network.fairshare import max_min_fair
+from repro.network.flows import Flow, FlowNetwork
+from repro.network.topology import Datacenter, Host, Rack
+from repro.network.latency import LatencyModel
+from repro.network.background import BackgroundTraffic
+
+__all__ = [
+    "BackgroundTraffic",
+    "Datacenter",
+    "Flow",
+    "FlowNetwork",
+    "Host",
+    "LatencyModel",
+    "Link",
+    "Rack",
+    "max_min_fair",
+]

@@ -1,0 +1,80 @@
+"""Background (cross) traffic generator.
+
+Datacenter links are never idle: other tenants' flows occupy NICs and
+rack uplinks.  :class:`BackgroundTraffic` runs on/off elephant flows over
+a set of links, so that measured foreground transfers (e.g. the Fig. 5
+2 GB TCP tests) see realistic, time-varying residual bandwidth -- the
+mechanism behind the paper's 15% <= 30 MB/s cross-rack tail.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.network.flows import FlowNetwork
+from repro.network.links import Link
+from repro.simcore import Distribution, Environment
+
+
+class BackgroundTraffic:
+    """On/off background flows over a fixed path.
+
+    Parameters
+    ----------
+    intensity:
+        Long-run fraction of time a background flow is active on the
+        path (0 disables traffic, values near 1 keep it almost always
+        busy).
+    flow_size_mb:
+        Distribution of elephant-flow sizes.
+    parallelism:
+        Number of independent on/off sources sharing the path.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: FlowNetwork,
+        links: Sequence[Link],
+        rng: np.random.Generator,
+        intensity: float = 0.5,
+        flow_size_mb: Optional[Distribution] = None,
+        parallelism: int = 2,
+        rate_cap_mbps: Optional[float] = None,
+    ) -> None:
+        if not 0.0 <= intensity < 1.0:
+            raise ValueError(f"intensity must be in [0, 1), got {intensity}")
+        self.env = env
+        self.network = network
+        self.links = tuple(links)
+        self.rng = rng
+        self.intensity = intensity
+        self.flow_size_mb = flow_size_mb or Distribution.lognormal_from_mean_std(
+            400.0, 300.0
+        )
+        self.rate_cap_mbps = rate_cap_mbps
+        self.flows_started = 0
+        self._procs = [
+            env.process(self._source()) for _ in range(parallelism)
+        ]
+
+    def _source(self):
+        if self.intensity <= 0.0:
+            return
+        env = self.env
+        while True:
+            size = max(self.flow_size_mb.sample(self.rng), 1.0)
+            flow = self.network.transfer(
+                self.links, size, cap=self.rate_cap_mbps, label="background"
+            )
+            self.flows_started += 1
+            start = env.now
+            yield flow.done
+            busy = env.now - start
+            # Calibrate idle period to the requested duty cycle; the busy
+            # period's length already reflects contention.
+            idle_mean = busy * (1.0 - self.intensity) / max(self.intensity, 1e-9)
+            idle = float(self.rng.exponential(max(idle_mean, 1e-3)))
+            yield env.timeout(idle)

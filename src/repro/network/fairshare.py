@@ -1,0 +1,129 @@
+"""Max-min fair bandwidth allocation (progressive filling).
+
+Given flows, each crossing a set of links and optionally carrying its own
+rate cap, raise all unfrozen flows' rates at the same pace; whenever a
+link saturates (or a flow hits its cap) freeze the flows it constrains.
+The result is the unique max-min fair allocation: no flow's rate can be
+increased without decreasing that of a flow with an already-smaller rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.network.links import Link
+
+FlowSpec = Tuple[Hashable, Sequence[Link], Optional[float]]
+
+#: Rates below this are treated as zero when checking saturation.
+_EPS = 1e-12
+
+
+def max_min_fair(
+    flows: Iterable[FlowSpec],
+) -> Dict[Hashable, float]:
+    """Compute the max-min fair rate for every flow.
+
+    Parameters
+    ----------
+    flows:
+        Iterable of ``(flow_id, links, cap)`` where ``links`` is the
+        sequence of links the flow crosses and ``cap`` an optional
+        per-flow rate ceiling (MB/s); ``None`` means uncapped.
+
+    Returns
+    -------
+    dict mapping flow_id -> allocated rate (MB/s).
+    """
+    specs = list(flows)
+    alloc: Dict[Hashable, float] = {fid: 0.0 for fid, _, _ in specs}
+    if not specs:
+        return alloc
+
+    flow_links: Dict[Hashable, Tuple[Link, ...]] = {}
+    flow_caps: Dict[Hashable, float] = {}
+    for fid, links, cap in specs:
+        if fid in flow_links and tuple(links) != flow_links[fid]:
+            raise ValueError(f"duplicate flow id {fid!r}")
+        flow_links[fid] = tuple(links)
+        flow_caps[fid] = math.inf if cap is None else float(cap)
+        if flow_caps[fid] < 0:
+            raise ValueError(f"flow {fid!r}: negative cap")
+
+    remaining: Dict[Link, float] = {}
+    link_flows: Dict[Link, set] = {}
+    for fid, links in flow_links.items():
+        for link in links:
+            remaining.setdefault(link, link.capacity_mbps)
+            link_flows.setdefault(link, set()).add(fid)
+
+    active = {fid for fid in flow_links if flow_caps[fid] > _EPS}
+    for fid in flow_links:
+        if fid not in active:
+            alloc[fid] = 0.0
+
+    while active:
+        # Largest uniform increment every active flow can still take.
+        increment = math.inf
+        for link, cap_left in remaining.items():
+            n = sum(1 for fid in link_flows[link] if fid in active)
+            if n:
+                increment = min(increment, cap_left / n)
+        for fid in active:
+            increment = min(increment, flow_caps[fid] - alloc[fid])
+
+        if math.isinf(increment):
+            # No link constrains the remaining flows and they are uncapped;
+            # this cannot happen for flows that cross >= 1 link.
+            for fid in active:
+                if not flow_links[fid]:
+                    raise ValueError(
+                        f"flow {fid!r} has no links and no cap; rate unbounded"
+                    )
+            raise AssertionError("unbounded increment with linked flows")
+
+        for fid in active:
+            alloc[fid] += increment
+        for link in remaining:
+            n = sum(1 for fid in link_flows[link] if fid in active)
+            remaining[link] -= increment * n
+
+        # Freeze flows on saturated links and flows that reached their cap.
+        frozen = set()
+        for link, cap_left in remaining.items():
+            if cap_left <= _EPS * max(1.0, link.capacity_mbps):
+                frozen |= link_flows[link] & active
+        for fid in active:
+            if alloc[fid] >= flow_caps[fid] - _EPS:
+                frozen.add(fid)
+        if not frozen:
+            # Numerical guard: freeze everything rather than loop forever.
+            frozen = set(active)
+        active -= frozen
+
+    return alloc
+
+
+def verify_allocation(
+    flows: Iterable[FlowSpec],
+    alloc: Mapping[Hashable, float],
+    tolerance: float = 1e-6,
+) -> None:
+    """Assert feasibility of an allocation (used by property tests).
+
+    Checks every link's load does not exceed capacity and no flow exceeds
+    its cap.  Raises AssertionError on violation.
+    """
+    load: Dict[Link, float] = {}
+    for fid, links, cap in flows:
+        rate = alloc[fid]
+        assert rate >= -tolerance, f"flow {fid!r} has negative rate {rate}"
+        if cap is not None:
+            assert rate <= cap + tolerance, f"flow {fid!r} exceeds cap"
+        for link in links:
+            load[link] = load.get(link, 0.0) + rate
+    for link, total in load.items():
+        assert total <= link.capacity_mbps * (1 + tolerance) + tolerance, (
+            f"link {link.name} overloaded: {total} > {link.capacity_mbps}"
+        )

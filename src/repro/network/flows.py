@@ -1,0 +1,190 @@
+"""Event-driven flow-level transfer engine.
+
+:class:`FlowNetwork` tracks the set of active flows and, whenever the set
+changes, recomputes the max-min fair allocation and the next completion
+instant.  Each flow's completion event fires exactly when its bytes are
+drained at the prevailing (piecewise-constant) rates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.network.fairshare import max_min_fair
+from repro.network.links import Link
+from repro.simcore import Environment, Event
+
+#: Residual megabytes below which a flow counts as complete.
+_DONE_EPS = 1e-9
+
+
+class Flow:
+    """One in-flight transfer across a path of links."""
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "id", "links", "cap", "size_mb", "remaining_mb",
+        "rate_mbps", "start_time", "done", "label",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        links: Sequence[Link],
+        size_mb: float,
+        cap: Optional[float],
+        label: str = "",
+    ) -> None:
+        self.id = next(Flow._ids)
+        self.links = tuple(links)
+        self.cap = cap
+        self.size_mb = float(size_mb)
+        self.remaining_mb = float(size_mb)
+        self.rate_mbps = 0.0
+        self.start_time = env.now
+        self.done: Event = env.event()
+        self.label = label
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow #{self.id} {self.label or 'transfer'}"
+            f" {self.remaining_mb:.3g}/{self.size_mb:.3g} MB"
+            f" @ {self.rate_mbps:.3g} MB/s>"
+        )
+
+
+class FlowNetwork:
+    """Shared-bandwidth transfer scheduler over a link graph.
+
+    Usage::
+
+        net = FlowNetwork(env)
+        flow = net.transfer([nic, uplink, server_nic], size_mb=1000)
+        elapsed_info = yield flow.done   # fires at completion
+
+    ``dynamic_cap`` hooks allow services to impose a per-flow ceiling
+    that depends on current concurrency (the storage front-end curves).
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.flows: Set[Flow] = set()
+        self._last_update = env.now
+        self._timer: Optional[Event] = None
+        self._timer_generation = 0
+        self.completed_count = 0
+        #: Per-flow cap hooks ``(flow, n_active) -> cap_or_None``; the
+        #: effective cap is the min over all non-None results (services
+        #: use these to impose concurrency-dependent front-end ceilings).
+        self._cap_hooks: List[Callable[[Flow, int], Optional[float]]] = []
+
+    # -- public API --------------------------------------------------------
+    def transfer(
+        self,
+        links: Sequence[Link],
+        size_mb: float,
+        cap: Optional[float] = None,
+        label: str = "",
+    ) -> Flow:
+        """Begin a transfer; returns the Flow whose ``done`` event fires
+        with the flow itself when the last byte arrives."""
+        if size_mb <= 0:
+            raise ValueError(f"size_mb must be > 0, got {size_mb}")
+        if not links and cap is None:
+            raise ValueError("flow needs at least one link or a cap")
+        self._advance_progress()
+        flow = Flow(self.env, links, size_mb, cap, label)
+        self.flows.add(flow)
+        self._reschedule()
+        return flow
+
+    def abort(self, flow: Flow) -> None:
+        """Cancel an in-flight transfer; its ``done`` event never fires."""
+        if flow in self.flows:
+            self._advance_progress()
+            self.flows.discard(flow)
+            self._reschedule()
+
+    @property
+    def active_count(self) -> int:
+        return len(self.flows)
+
+    def current_rate(self, flow: Flow) -> float:
+        return flow.rate_mbps
+
+    def add_cap_hook(
+        self, hook: Callable[[Flow, int], Optional[float]]
+    ) -> None:
+        """Register a dynamic per-flow rate-cap hook."""
+        self._cap_hooks.append(hook)
+        self._advance_progress()
+        self._reschedule()
+
+    def poke(self) -> None:
+        """Force a rate recomputation (call after hook inputs change)."""
+        self._advance_progress()
+        self._reschedule()
+
+    # -- internals -----------------------------------------------------------
+    def _advance_progress(self) -> None:
+        """Drain bytes for time elapsed since the last recomputation."""
+        elapsed = self.env.now - self._last_update
+        if elapsed > 0:
+            for flow in self.flows:
+                flow.remaining_mb -= flow.rate_mbps * elapsed
+        self._last_update = self.env.now
+
+    def _effective_cap(self, flow: Flow, n: int) -> Optional[float]:
+        cap = flow.cap
+        for hook in self._cap_hooks:
+            dyn = hook(flow, n)
+            if dyn is not None:
+                cap = dyn if cap is None else min(cap, dyn)
+        return cap
+
+    def _reschedule(self) -> None:
+        """Recompute rates and arm a timer for the next completion."""
+        self._timer_generation += 1
+        if not self.flows:
+            return
+        n = len(self.flows)
+        specs = [
+            (flow, flow.links, self._effective_cap(flow, n))
+            for flow in self.flows
+        ]
+        alloc = max_min_fair(specs)
+        next_done = math.inf
+        for flow in self.flows:
+            flow.rate_mbps = alloc[flow]
+            if flow.rate_mbps > 0:
+                next_done = min(
+                    next_done, flow.remaining_mb / flow.rate_mbps
+                )
+        if math.isinf(next_done):
+            # Every flow starved (all rates zero): nothing to schedule;
+            # a future transfer()/abort() will recompute.
+            return
+        generation = self._timer_generation
+        timer = self.env.timeout(max(next_done, 0.0))
+        timer.add_callback(lambda _ev: self._on_timer(generation))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # stale timer from a superseded schedule
+        self._advance_progress()
+        finished: List[Flow] = [
+            f for f in self.flows if f.remaining_mb <= _DONE_EPS
+        ]
+        for flow in finished:
+            self.flows.discard(flow)
+            flow.remaining_mb = 0.0
+            self.completed_count += 1
+            flow.done.succeed(flow)
+        self._reschedule()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current rate by flow label (diagnostics)."""
+        return {f"{f.label}#{f.id}": f.rate_mbps for f in self.flows}

@@ -1,0 +1,149 @@
+"""The event loop at the heart of the simulation kernel.
+
+:class:`Environment` owns simulated time and a binary heap of scheduled
+events.  ``run(until=...)`` pops events in ``(time, sequence)`` order so
+that simultaneous events fire deterministically in schedule order — a
+property the reproduction's determinism tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.simcore.events import AllOf, AnyOf, Event, Timeout
+from repro.simcore.process import Process
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at a sentinel event."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds, by convention
+        throughout this project).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- scheduling ------------------------------------------------------
+    def _enqueue(self, delay: float, event: Event) -> None:
+        """Schedule ``event`` to be processed ``delay`` from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def schedule_at(self, time: float, event: Event) -> None:
+        """Schedule a pre-triggered event at an absolute time."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, event))
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, list(events))
+
+    # -- execution -------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event; advance the clock to its time."""
+        if not self._queue:
+            raise RuntimeError("no scheduled events")
+        time, _, event = heapq.heappop(self._queue)
+        self._now = time
+        event._process()
+        if not event.ok and not event.defused:
+            exc = event.value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until the clock reaches it), or an :class:`Event` (run until
+        it is processed, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        limit = float("inf")
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            stop_event.add_callback(self._stop_callback)
+        else:
+            limit = float(until)
+            if limit < self._now:
+                raise ValueError(
+                    f"until={limit} is in the past (now={self._now})"
+                )
+
+        try:
+            while self._queue:
+                if self._queue[0][0] > limit:
+                    self._now = limit
+                    break
+                self.step()
+        except StopSimulation:
+            assert stop_event is not None
+            if not stop_event.ok:
+                exc = stop_event.value
+                raise exc
+            return stop_event.value
+        else:
+            if stop_event is not None and not stop_event.processed:
+                raise RuntimeError(
+                    "run() stop event was never triggered "
+                    "(simulation ran out of events)"
+                )
+            if limit != float("inf") and not self._queue:
+                # Exhausted queue before the time limit: clock still
+                # advances to the requested horizon.
+                self._now = limit
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation()
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

@@ -1,0 +1,221 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot future: it is *triggered* with either a
+value (success) or an exception (failure), after which the environment
+invokes its callbacks at the event's scheduled time.  Processes yield
+events to suspend until they fire.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simcore.engine import Environment
+
+#: Sentinel for "event not yet triggered".
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence inside an :class:`Environment`.
+
+    Events move through three states: *pending* (created), *triggered*
+    (value set, queued on the event heap) and *processed* (callbacks run).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+        self._processed: bool = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(0.0, self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside any process waiting on the
+        event.  If nothing waits, it propagates out of ``env.run()``
+        unless :meth:`defused` is set.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(0.0, self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so it will not crash the run."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self.callbacks is None:
+            # Already processed: run immediately to preserve semantics.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        """Invoke callbacks; called by the environment's event loop."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if self._value is PENDING
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._enqueue(delay, self)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    ``cause`` carries the interrupter's reason object.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+#: Alias kept separate from builtins.InterruptedError for clarity at
+#: call-sites that catch kernel interrupts.
+InterruptedError_ = Interrupt
+
+
+class Condition(Event):
+    """Composite event over a set of child events.
+
+    Fires when ``evaluate(children, n_triggered)`` returns True, or fails
+    as soon as any child fails.  The value is a dict mapping each
+    triggered child to its value, in trigger order.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[Sequence[Event], int], bool],
+        events: Sequence[Event],
+    ) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        self._evaluate = evaluate
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        # Only *processed* children count: a Timeout is triggered (has a
+        # value) from creation, but has not yet "happened" until the clock
+        # reaches it.
+        return {
+            event: event.value
+            for event in self._events
+            if event.processed and event.ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        super().__init__(env, lambda evts, count: count >= len(evts), events)
+
+
+class AnyOf(Condition):
+    """Fires when at least one child event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        super().__init__(env, lambda evts, count: count >= 1, events)

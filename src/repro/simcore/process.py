@@ -1,0 +1,148 @@
+"""Processes: generator-driven actors inside the simulation.
+
+A process wraps a Python generator.  Each ``yield`` hands the kernel an
+:class:`~repro.simcore.events.Event`; the process resumes when the event
+fires, receiving the event's value (or its exception, re-raised).  A
+process is itself an event that fires with the generator's return value,
+so processes can wait on one another.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.simcore.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simcore.engine import Environment
+
+
+class _InterruptEvent(Event):
+    """Internal event used to deliver an interrupt to a target process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self.defuse()
+        self.env._enqueue(0.0, self)
+        self.callbacks.append(self._deliver)
+
+    @staticmethod
+    def _deliver(event: "Event") -> None:
+        process = event.process  # type: ignore[attr-defined]
+        if process.triggered:
+            return  # target already finished; interrupt is a no-op
+        # Detach the process from whatever it was waiting on so the
+        # original event's later firing does not resume it twice.
+        target = process._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._waiting_on = None
+        process._resume(event)
+
+
+class Process(Event):
+    """A running simulation actor.
+
+    Completed processes carry the generator's return value; a process
+    that raises propagates the exception to waiters (or, unhandled, out
+    of ``env.run()``).
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current time via an initialisation event.
+        start = Event(env)
+        start._ok = True
+        start._value = None
+        env._enqueue(0.0, start)
+        start.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already finished")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        _InterruptEvent(self, cause)
+
+    # -- kernel plumbing ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        env = self.env
+        prev, env._active_process = env._active_process, self
+        self._waiting_on = None
+        try:
+            while True:
+                try:
+                    if event.ok:
+                        target = self._generator.send(event.value)
+                    else:
+                        event.defuse()
+                        target = self._generator.throw(event.value)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    env._enqueue(0.0, self)
+                    return
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    env._enqueue(0.0, self)
+                    return
+
+                if not isinstance(target, Event):
+                    exc = RuntimeError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    )
+                    self._ok = False
+                    self._value = exc
+                    env._enqueue(0.0, self)
+                    return
+                if target.env is not env:
+                    exc = RuntimeError(
+                        f"process {self.name!r} yielded an event from "
+                        "another environment"
+                    )
+                    self._ok = False
+                    self._value = exc
+                    env._enqueue(0.0, self)
+                    return
+
+                if target.callbacks is None:
+                    # Already processed — resume immediately with its value.
+                    event = target
+                    continue
+                self._waiting_on = target
+                target.add_callback(self._resume)
+                return
+        finally:
+            env._active_process = prev
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name} {state}>"

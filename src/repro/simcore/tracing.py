@@ -1,0 +1,190 @@
+"""Measurement collection: tallies, time series and event traces.
+
+The workload drivers and the ModisAzure log analysis both record through
+these primitives, so every experiment reports from the same machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Tally:
+    """Streaming summary of scalar observations (Welford's algorithm).
+
+    Keeps all samples as well, since the experiments need percentiles and
+    histograms; sample counts in this project are modest (≤ a few million
+    floats).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError(f"tally {self.name!r} is empty")
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (matches the paper's STD columns)."""
+        if self._n == 0:
+            raise ValueError(f"tally {self.name!r} is empty")
+        return math.sqrt(self._m2 / self._n)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise ValueError(f"tally {self.name!r} is empty")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise ValueError(f"tally {self.name!r} is empty")
+        return self._max
+
+    @property
+    def total(self) -> float:
+        return self._mean * self._n
+
+    def percentile(self, q: float) -> float:
+        if self._n == 0:
+            raise ValueError(f"tally {self.name!r} is empty")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X <= threshold) over the observed samples."""
+        if self._n == 0:
+            raise ValueError(f"tally {self.name!r} is empty")
+        arr = np.asarray(self._samples)
+        return float((arr <= threshold).mean())
+
+    def samples(self) -> np.ndarray:
+        return np.asarray(self._samples, dtype=float)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        if self._n == 0:
+            return f"<Tally {self.name!r} empty>"
+        return (
+            f"<Tally {self.name!r} n={self._n} mean={self._mean:.4g}"
+            f" std={self.std:.4g} min={self._min:.4g} max={self._max:.4g}>"
+        )
+
+
+class TimeSeries:
+    """(time, value) observations, e.g. daily timeout percentages."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} requires nondecreasing times"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self):
+        return iter(zip(self._times, self._values))
+
+
+@dataclass
+class TraceEvent:
+    """A single structured record in a trace."""
+
+    time: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only structured event log with simple filtering.
+
+    Used for the ModisAzure task log (whose analysis produces Table 2 and
+    Fig. 7) and for debugging simulations.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, kind: str, **data: Any) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time, kind, data))
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def histogram(
+    samples: Sequence[float],
+    bin_edges: Sequence[float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram counts over explicit edges (paper figures use fixed bins)."""
+    counts, edges = np.histogram(np.asarray(samples, dtype=float), bins=bin_edges)
+    return counts, edges
+
+
+def cdf_points(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative fraction)."""
+    arr = np.sort(np.asarray(samples, dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    frac = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, frac

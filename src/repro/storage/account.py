@@ -1,0 +1,43 @@
+"""A storage account: one blob + table + queue endpoint triple.
+
+Bundles the three services over a shared flow network and RNG family,
+the way an Azure subscription sees them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.flows import FlowNetwork
+from repro.simcore import Environment, RandomStreams
+from repro.storage.blob import BlobService
+from repro.storage.queue import QueueService
+from repro.storage.table import TableService
+
+
+class StorageAccount:
+    """The storage half of a simulated Azure subscription."""
+
+    def __init__(
+        self,
+        env: Environment,
+        streams: RandomStreams,
+        network: Optional[FlowNetwork] = None,
+        name: str = "account",
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.network = network if network is not None else FlowNetwork(env)
+        self.blobs = BlobService(
+            env, streams.stream(f"{name}.blob"), self.network,
+            name=f"{name}.blobs",
+        )
+        self.tables = TableService(
+            env, streams.stream(f"{name}.table"), name=f"{name}.tables",
+        )
+        self.queues = QueueService(
+            env, streams.stream(f"{name}.queue"), name=f"{name}.queues",
+        )
+
+    def __repr__(self) -> str:
+        return f"<StorageAccount {self.name}>"

@@ -1,0 +1,392 @@
+"""The Azure Blob storage service model.
+
+Blobs live in containers and are triple-replicated.  The bandwidth
+behaviour of Fig. 1 arises from three stacked constraints:
+
+* each small-instance client NIC is capped (~12.5 MB/s, Section 6.1);
+* reads of one blob fan out over its three replicas, so the aggregate
+  read ceiling is ~3x GigE (the paper measured 393.4 MB/s); writes
+  funnel through the partition primary, ~1x GigE (measured 124.25 MB/s);
+* the front end grants each connection at most ``A * n**-gamma`` MB/s
+  with ``n`` concurrent connections (per-connection handling overhead),
+  which bends the per-client curve down between the NIC-limited region
+  (1-8 clients) and the hard ceiling (>=128 clients).
+
+Transfers run as flows on the shared :class:`FlowNetwork`, so blob
+traffic, VM-to-VM traffic and background traffic all contend for the
+same simulated links.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro import calibration as cal
+from repro.network.flows import Flow, FlowNetwork
+from repro.network.links import Link
+from repro.simcore import Environment
+from repro.storage.errors import (
+    BlobAlreadyExistsError,
+    BlobNotFoundError,
+    CorruptBlobError,
+    PreconditionFailedError,
+)
+
+_etags = itertools.count(1)
+_tokens = itertools.count(1)
+
+
+@dataclass
+class BlobMeta:
+    """Metadata of one stored blob."""
+
+    container: str
+    name: str
+    size_mb: float
+    etag: int = field(default_factory=lambda: next(_etags))
+    #: Opaque content identity; integrity checks compare it.
+    content_token: int = field(default_factory=lambda: next(_tokens))
+    created_at: float = 0.0
+
+    @property
+    def path(self) -> str:
+        return f"{self.container}/{self.name}"
+
+
+class NetworkEndpoint(Protocol):
+    """Anything with a NIC pair can talk to blob storage (VMs do)."""
+
+    nic_tx: Link
+    nic_rx: Link
+
+
+class BlobService:
+    """A blob storage account endpoint.
+
+    Parameters
+    ----------
+    network:
+        The shared flow network transfers run on.
+    replicas:
+        Read fan-out degree (3 in Azure; the replication ablation varies
+        this).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: np.random.Generator,
+        network: FlowNetwork,
+        name: str = "blobs",
+        replicas: int = cal.REPLICATION_FACTOR,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.env = env
+        self.rng = rng
+        self.network = network
+        self.name = name
+        self.replicas = replicas
+        self._containers: Dict[str, Dict[str, BlobMeta]] = {}
+        # Each blob lives on its own partition range: reads of one blob
+        # share that blob's replica set (~replicas x GigE); writes into
+        # one container funnel through that container's partition
+        # primary (~1x GigE).  Links and connection counts are per
+        # blob/container, which is what makes the Section 6.1
+        # copy-striping recommendation work.
+        self._download_links: Dict[Tuple[str, str], Link] = {}
+        self._upload_links: Dict[str, Link] = {}
+        self._download_conns: Dict[Link, int] = {}
+        self._upload_conns: Dict[Link, int] = {}
+        #: Staged (uncommitted) block-blob blocks: (container, name) ->
+        #: {block_id: size_mb}.
+        self._staged: Dict[Tuple[str, str], Dict[str, float]] = {}
+        network.add_cap_hook(self._frontend_cap)
+
+    # -- per-blob/container links and the front-end service curve ---------
+    def download_link(self, container: str, name: str) -> Link:
+        """The replica-set egress link serving one blob's reads."""
+        key = (container, name)
+        link = self._download_links.get(key)
+        if link is None:
+            per_replica = (
+                cal.BLOB_DOWNLOAD_SERVER_MBPS / cal.REPLICATION_FACTOR
+            )
+            link = Link(
+                f"{self.name}.read:{container}/{name}",
+                per_replica * self.replicas,
+            )
+            self._download_links[key] = link
+            self._download_conns[link] = 0
+        return link
+
+    def upload_link(self, container: str) -> Link:
+        """The partition-primary ingress link for one container."""
+        link = self._upload_links.get(container)
+        if link is None:
+            link = Link(
+                f"{self.name}.write:{container}", cal.BLOB_UPLOAD_SERVER_MBPS
+            )
+            self._upload_links[container] = link
+            self._upload_conns[link] = 0
+        return link
+
+    def _frontend_cap(self, flow: Flow, _n_total: int) -> Optional[float]:
+        for link in flow.links:
+            if link in self._download_conns:
+                n = max(self._download_conns[link], 1)
+                curve = (
+                    cal.BLOB_DOWNLOAD_FRONTEND_A_MBPS
+                    * n ** -cal.BLOB_DOWNLOAD_FRONTEND_GAMMA
+                )
+                return min(cal.BLOB_PER_CLIENT_CAP_MBPS, curve)
+            if link in self._upload_conns:
+                n = max(self._upload_conns[link], 1)
+                return (
+                    cal.BLOB_UPLOAD_FRONTEND_A_MBPS
+                    * n ** -cal.BLOB_UPLOAD_FRONTEND_GAMMA
+                )
+        return None
+
+    # -- administrative -------------------------------------------------------
+    def create_container(self, container: str) -> None:
+        self._containers.setdefault(container, {})
+
+    def exists(self, container: str, name: str) -> bool:
+        return name in self._containers.get(container, {})
+
+    def get_meta(self, container: str, name: str) -> BlobMeta:
+        try:
+            return self._containers[container][name]
+        except KeyError:
+            raise BlobNotFoundError(f"{container}/{name}") from None
+
+    def seed_blob(self, container: str, name: str, size_mb: float) -> BlobMeta:
+        """Administratively create a blob without simulating the upload
+        (pre-population for experiments, e.g. Fig. 1's 1 GB test blob)."""
+        if size_mb <= 0:
+            raise ValueError(f"size_mb must be > 0, got {size_mb}")
+        blobs = self._containers.setdefault(container, {})
+        meta = BlobMeta(
+            container=container, name=name, size_mb=size_mb,
+            created_at=self.env.now,
+        )
+        blobs[name] = meta
+        return meta
+
+    def blob_count(self, container: str) -> int:
+        return len(self._containers.get(container, {}))
+
+    def total_stored_mb(self) -> float:
+        return sum(
+            blob.size_mb
+            for blobs in self._containers.values()
+            for blob in blobs.values()
+        )
+
+    def _request_latency(self) -> Generator:
+        base = cal.BLOB_REQUEST_LATENCY_S
+        yield self.env.timeout(
+            base * 0.8 + float(self.rng.exponential(base * 0.2))
+        )
+
+    # -- data plane ------------------------------------------------------------
+    def upload(
+        self,
+        client: NetworkEndpoint,
+        container: str,
+        name: str,
+        size_mb: float,
+        overwrite: bool = False,
+    ) -> Generator:
+        """Upload a blob from ``client``; returns its BlobMeta.
+
+        Raises BlobAlreadyExistsError if the name is taken (checked again
+        at commit, so racing uploads of the same name serialize to one
+        winner -- the source of ModisAzure's 'blob already exists' rows).
+        """
+        if size_mb <= 0:
+            raise ValueError(f"size_mb must be > 0, got {size_mb}")
+        blobs = self._containers.setdefault(container, {})
+        yield from self._request_latency()
+        if not overwrite and name in blobs:
+            raise BlobAlreadyExistsError(f"{container}/{name}")
+        link = self.upload_link(container)
+        self._upload_conns[link] += 1
+        try:
+            flow = self.network.transfer(
+                (client.nic_tx, link),
+                size_mb,
+                label=f"blob-up:{name}",
+            )
+            yield flow.done
+        finally:
+            self._upload_conns[link] -= 1
+            self.network.poke()
+        if not overwrite and name in blobs:
+            raise BlobAlreadyExistsError(f"{container}/{name}")
+        meta = BlobMeta(
+            container=container, name=name, size_mb=size_mb,
+            created_at=self.env.now,
+        )
+        blobs[name] = meta
+        return meta
+
+    def download(
+        self,
+        client: NetworkEndpoint,
+        container: str,
+        name: str,
+        corrupt_probability: float = 0.0,
+    ) -> Generator:
+        """Download a blob to ``client``; returns its BlobMeta.
+
+        ``corrupt_probability`` lets failure-injection layers surface
+        CorruptBlobError at the observed Table-2 rate.
+        """
+        meta = self.get_meta(container, name)
+        yield from self._request_latency()
+        link = self.download_link(container, name)
+        self._download_conns[link] += 1
+        try:
+            flow = self.network.transfer(
+                (link, client.nic_rx),
+                meta.size_mb,
+                label=f"blob-dl:{name}",
+            )
+            yield flow.done
+        finally:
+            self._download_conns[link] -= 1
+            self.network.poke()
+        if corrupt_probability > 0 and self.rng.random() < corrupt_probability:
+            raise CorruptBlobError(f"{container}/{name}: checksum mismatch")
+        return meta
+
+    def delete_blob(self, container: str, name: str) -> Generator:
+        """Remove a blob."""
+        yield from self._request_latency()
+        blobs = self._containers.get(container, {})
+        if name not in blobs:
+            raise BlobNotFoundError(f"{container}/{name}")
+        del blobs[name]
+
+
+    # -- extended API: listing, conditional ops, copies, block upload -----
+    def list_blobs(self, container: str, prefix: str = "") -> Generator:
+        """List blob metadata in a container (one metadata round trip)."""
+        yield from self._request_latency()
+        blobs = self._containers.get(container, {})
+        return sorted(
+            (meta for name, meta in blobs.items() if name.startswith(prefix)),
+            key=lambda m: m.name,
+        )
+
+    def download_if_match(
+        self,
+        client: NetworkEndpoint,
+        container: str,
+        name: str,
+        etag: int,
+    ) -> Generator:
+        """Conditional download: fails fast if the blob changed."""
+        meta = self.get_meta(container, name)
+        if meta.etag != etag:
+            yield from self._request_latency()
+            raise PreconditionFailedError(
+                f"{container}/{name}: etag {meta.etag} != {etag}"
+            )
+        result = yield from self.download(client, container, name)
+        return result
+
+    def copy_blob(
+        self,
+        container: str,
+        src_name: str,
+        dst_name: str,
+        overwrite: bool = False,
+    ) -> Generator:
+        """Server-side copy: no client bandwidth, pays backend copy time.
+
+        The Section 6.1 recommendation ("use data replication on the
+        blob storage to expand the server-side bandwidth limit") builds
+        on this: copies of a hot blob live on distinct partition ranges
+        and serve reads independently.
+        """
+        src = self.get_meta(container, src_name)
+        blobs = self._containers.setdefault(container, {})
+        yield from self._request_latency()
+        if not overwrite and dst_name in blobs:
+            raise BlobAlreadyExistsError(f"{container}/{dst_name}")
+        yield self.env.timeout(src.size_mb / cal.BLOB_SERVER_COPY_MBPS)
+        if not overwrite and dst_name in blobs:
+            raise BlobAlreadyExistsError(f"{container}/{dst_name}")
+        meta = BlobMeta(
+            container=container, name=dst_name, size_mb=src.size_mb,
+            content_token=src.content_token, created_at=self.env.now,
+        )
+        blobs[dst_name] = meta
+        return meta
+
+    def put_block(
+        self,
+        client: NetworkEndpoint,
+        container: str,
+        name: str,
+        block_id: str,
+        size_mb: float,
+    ) -> Generator:
+        """Stage one block of a block blob (uncommitted)."""
+        if size_mb <= 0:
+            raise ValueError(f"size_mb must be > 0, got {size_mb}")
+        yield from self._request_latency()
+        link = self.upload_link(container)
+        self._upload_conns[link] += 1
+        try:
+            flow = self.network.transfer(
+                (client.nic_tx, link),
+                size_mb,
+                label=f"blob-block:{name}/{block_id}",
+            )
+            yield flow.done
+        finally:
+            self._upload_conns[link] -= 1
+            self.network.poke()
+        self._staged.setdefault((container, name), {})[block_id] = size_mb
+
+    def put_block_list(
+        self,
+        container: str,
+        name: str,
+        block_ids: "Tuple[str, ...]",
+        overwrite: bool = False,
+    ) -> Generator:
+        """Commit staged blocks into a blob (atomic, metadata-only)."""
+        blobs = self._containers.setdefault(container, {})
+        staged = self._staged.get((container, name), {})
+        missing = [b for b in block_ids if b not in staged]
+        yield from self._request_latency()
+        if missing:
+            raise BlobNotFoundError(
+                f"{container}/{name}: uncommitted blocks missing: {missing}"
+            )
+        if not overwrite and name in blobs:
+            raise BlobAlreadyExistsError(f"{container}/{name}")
+        size = sum(staged[b] for b in block_ids)
+        meta = BlobMeta(
+            container=container, name=name, size_mb=size,
+            created_at=self.env.now,
+        )
+        blobs[name] = meta
+        del self._staged[(container, name)]
+        return meta
+
+    def active_transfers(self) -> Tuple[int, int]:
+        """(downloads, uploads) currently in flight."""
+        return (
+            sum(self._download_conns.values()),
+            sum(self._upload_conns.values()),
+        )

@@ -1,0 +1,66 @@
+"""Storage-service error taxonomy.
+
+Mirrors the error classes a 2009 Azure StorageClient surfaced, and the
+failure types ModisAzure logged (Table 2 of the paper).
+"""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for all simulated storage-service failures."""
+
+    #: Whether the client retry policy may retry this failure.
+    retryable = False
+
+
+class OperationTimeoutError(StorageError):
+    """The server failed to complete the request in time (HTTP 500/timeout)."""
+
+    retryable = True
+
+
+class ServerBusyError(StorageError):
+    """The service shed the request under overload (HTTP 503)."""
+
+    retryable = True
+
+
+class ConnectionFailureError(StorageError):
+    """Transport-level connection failure."""
+
+    retryable = True
+
+
+class BlobNotFoundError(StorageError):
+    """The requested blob does not exist."""
+
+
+class BlobAlreadyExistsError(StorageError):
+    """Create-if-not-exists failed: the blob is already present."""
+
+
+class CorruptBlobError(StorageError):
+    """Downloaded content failed integrity verification."""
+
+    retryable = True
+
+
+class EntityNotFoundError(StorageError):
+    """No entity matches the given PartitionKey/RowKey."""
+
+
+class EntityAlreadyExistsError(StorageError):
+    """Insert failed: an entity with this key already exists."""
+
+
+class PreconditionFailedError(StorageError):
+    """A conditional (etag) operation found a newer entity version."""
+
+
+class QueueEmptyError(StorageError):
+    """Peek/Receive on a queue with no visible messages."""
+
+
+class MessageNotFoundError(StorageError):
+    """Delete-message referenced an unknown or re-queued message."""

@@ -1,0 +1,229 @@
+"""The storage partition-server front end.
+
+Every table partition, queue, and blob-metadata range is served by a
+*partition server*.  The server model has four mechanisms, each of which
+produces one of the concurrency effects the paper measured:
+
+1. **Per-connection service curve** -- handling ``n`` concurrent client
+   connections costs each request ``c * n**gamma`` extra seconds of
+   front-end time (connection handling, auth, marshalling).  This bends
+   per-client throughput down *before* any hard limit binds (the gradual
+   Insert/Query/Peek declines of Figs. 2-3).
+
+2. **Bounded CPU pool** -- CPU-heavy work (property-filter scans, large
+   payload marshalling) competes for a small core pool, so expensive
+   operations stretch dramatically under concurrency (the Section 6.1
+   property-filter timeouts).
+
+3. **Per-key exclusive latches** -- conflicting mutations serialize:
+   the *same entity* for table Update (server saturates near 8 clients),
+   the partition index for Delete (near 128), the queue head for Receive
+   (~424 ops/s) and the replica-commit slot for queue Add (~569 ops/s).
+
+4. **Overload shedding** -- when the in-flight payload exceeds the
+   server's ingest budget, requests are probabilistically parked until
+   the server-side timeout and failed (the 64 kB Insert/Delete timeout
+   exceptions of Section 3.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Hashable, Optional
+
+import numpy as np
+
+from repro.simcore import Environment, Resource
+from repro.storage.errors import OperationTimeoutError
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Resource demands of one storage operation.
+
+    Attributes
+    ----------
+    name:
+        Operation label (metrics only).
+    cpu_s:
+        Mean CPU seconds consumed on the core pool (0 to skip).
+    exclusive_s:
+        Mean seconds holding the exclusive latch named by ``latch_key``.
+    latch_key:
+        Which latch the operation serializes on (None for lock-free ops).
+    payload_mb:
+        Request payload counted against the ingest budget.
+    frontend_scale:
+        Multiplier on the server's per-connection service curve (cheap
+        read paths like queue Peek use < 1).
+    deterministic:
+        If True, service times are used as-is; otherwise they are drawn
+        exponentially around the mean (the default, giving realistic
+        response-time variance).
+    """
+
+    name: str
+    cpu_s: float = 0.0
+    exclusive_s: float = 0.0
+    latch_key: Optional[Hashable] = None
+    payload_mb: float = 0.0
+    frontend_scale: float = 1.0
+    deterministic: bool = False
+
+
+@dataclass
+class PartitionStats:
+    """Counters the experiments read off a server."""
+
+    started: int = 0
+    completed: int = 0
+    shed: int = 0
+    peak_concurrency: int = 0
+    busy_cpu_s: float = 0.0
+    ops_by_name: Dict[str, int] = field(default_factory=dict)
+
+
+class PartitionServer:
+    """One storage partition server (see module docstring).
+
+    Parameters
+    ----------
+    frontend_c_s / frontend_gamma:
+        Per-connection service curve: each request pays
+        ``frontend_c_s * n**frontend_gamma`` seconds of front-end time,
+        where ``n`` is the number of requests concurrently in flight.
+    cores:
+        CPU pool size for ``cpu_s`` work.
+    overload_knee_mb / overload_slope_per_mb:
+        In-flight payload budget; beyond the knee each additional MB adds
+        ``slope`` to the probability that a request is parked and failed
+        with :class:`OperationTimeoutError` after ``server_timeout_s``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: np.random.Generator,
+        name: str = "partition",
+        frontend_c_s: float = 0.004,
+        frontend_gamma: float = 0.5,
+        cores: int = 8,
+        overload_knee_mb: float = 1.5,
+        overload_slope_per_mb: float = 4e-4,
+        server_timeout_s: float = 30.0,
+    ) -> None:
+        if frontend_c_s < 0 or frontend_gamma < 0:
+            raise ValueError("front-end curve parameters must be >= 0")
+        self.env = env
+        self.rng = rng
+        self.name = name
+        self.frontend_c_s = frontend_c_s
+        self.frontend_gamma = frontend_gamma
+        self.cpu = Resource(env, capacity=cores)
+        self.overload_knee_mb = overload_knee_mb
+        self.overload_slope_per_mb = overload_slope_per_mb
+        self.server_timeout_s = server_timeout_s
+        self._latches: Dict[Hashable, Resource] = {}
+        self._active = 0
+        self._inflight_payload_mb = 0.0
+        self.stats = PartitionStats()
+        #: Optional fault injector (see :mod:`repro.faults`); consulted
+        #: at request admission.
+        self.fault_injector = None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def active_requests(self) -> int:
+        return self._active
+
+    @property
+    def inflight_payload_mb(self) -> float:
+        return self._inflight_payload_mb
+
+    def latch(self, key: Hashable) -> Resource:
+        latch = self._latches.get(key)
+        if latch is None:
+            latch = Resource(self.env, capacity=1)
+            self._latches[key] = latch
+        return latch
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, op: OpSpec) -> Generator:
+        """Process one operation; yields inside the caller's process.
+
+        Raises :class:`OperationTimeoutError` if the request is shed.
+        """
+        env = self.env
+        self._active += 1
+        self._inflight_payload_mb += op.payload_mb
+        self.stats.started += 1
+        self.stats.peak_concurrency = max(self.stats.peak_concurrency, self._active)
+        self.stats.ops_by_name[op.name] = self.stats.ops_by_name.get(op.name, 0) + 1
+        try:
+            # (0) scheduled fault windows (drills, Section 6.3).
+            if self.fault_injector is not None:
+                yield from self.fault_injector.intercept(self, op)
+
+            # (4) overload shedding by ingest-budget pressure.
+            excess = self._inflight_payload_mb - self.overload_knee_mb
+            if excess > 0:
+                p_shed = min(self.overload_slope_per_mb * excess, 0.5)
+                if self.rng.random() < p_shed:
+                    self.stats.shed += 1
+                    yield env.timeout(self.server_timeout_s)
+                    raise OperationTimeoutError(
+                        f"{self.name}: request {op.name} timed out server-side"
+                    )
+
+            # (1) per-connection front-end service curve.
+            if self.frontend_c_s > 0 and op.frontend_scale > 0 and self._active > 1:
+                penalty = (
+                    self.frontend_c_s
+                    * op.frontend_scale
+                    * (self._active ** self.frontend_gamma)
+                )
+                yield env.timeout(self._jitter(penalty, op))
+
+            # (2) CPU-pool work.
+            if op.cpu_s > 0:
+                with self.cpu.request() as slot:
+                    yield slot
+                    work = self._jitter(op.cpu_s, op)
+                    self.stats.busy_cpu_s += work
+                    yield env.timeout(work)
+
+            # (3) exclusive latch.
+            if op.exclusive_s > 0:
+                if op.latch_key is None:
+                    raise ValueError(
+                        f"op {op.name!r} has exclusive_s but no latch_key"
+                    )
+                with self.latch(op.latch_key).request() as grant:
+                    yield grant
+                    yield env.timeout(self._jitter(op.exclusive_s, op))
+
+            self.stats.completed += 1
+        finally:
+            self._active -= 1
+            self._inflight_payload_mb -= op.payload_mb
+
+    def _jitter(self, mean: float, op: OpSpec) -> float:
+        if op.deterministic or mean <= 0:
+            return max(mean, 0.0)
+        # Exponential service times give M/M/c-like response variance.
+        return float(self.rng.exponential(mean))
+
+    def utilization_estimate(self) -> float:
+        """Fraction of elapsed time the CPU pool has been busy."""
+        if self.env.now <= 0:
+            return 0.0
+        return min(
+            self.stats.busy_cpu_s / (self.env.now * self.cpu.capacity), 1.0
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartitionServer {self.name} active={self._active}"
+            f" inflight={self._inflight_payload_mb:.2f}MB>"
+        )

@@ -1,0 +1,290 @@
+"""The Azure Queue storage service model.
+
+Queues provide the loose coupling between web and worker roles
+(Section 3.3).  Semantics modelled:
+
+* **Add** -- append a message; commits to all three replicas (the
+  exclusive replica-commit slot caps service-side throughput near
+  569 ops/s, the paper's 64-client peak).
+* **Peek** -- read the frontmost visible message without changing any
+  state (cheapest op; the paper saw throughput still rising at 192
+  clients).
+* **Receive (Get)** -- dequeue: assign the frontmost visible message to
+  exactly one caller and hide it for ``visibility_timeout`` seconds
+  (head-of-queue latch; ~424 ops/s peak).  If the consumer does not
+  delete it in time the message reappears -- the retry mechanism
+  ModisAzure initially relied on (Section 5.2).
+* **Delete** -- remove a received message using its pop receipt.
+
+Operation cost is O(1) in queue length (Section 3.3 found no variation
+from 200 k to 2 M messages), which the model preserves by tracking a
+visible-head cursor instead of scanning.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro import calibration as cal
+from repro.simcore import Environment
+from repro.storage.errors import MessageNotFoundError, QueueEmptyError
+from repro.storage.partition import OpSpec, PartitionServer
+
+_msg_ids = itertools.count(1)
+_receipts = itertools.count(1)
+
+
+@dataclass
+class QueueMessage:
+    """A queued message and its visibility state."""
+
+    payload: object
+    size_kb: float
+    id: int = field(default_factory=lambda: next(_msg_ids))
+    enqueued_at: float = 0.0
+    visible_at: float = 0.0
+    dequeue_count: int = 0
+    pop_receipt: Optional[int] = None
+    deleted: bool = False
+
+
+class _QueueState:
+    """One queue: message map plus a visibility-ordered heap.
+
+    The heap holds (visible_at, seq, message); popping skips deleted
+    entries lazily, keeping every operation O(log n) regardless of
+    depth.
+    """
+
+    def __init__(self) -> None:
+        self.messages: Dict[int, QueueMessage] = {}
+        self.heap: List[Tuple[float, int, QueueMessage]] = []
+        self._seq = itertools.count()
+
+    def push(self, message: QueueMessage) -> None:
+        self.messages[message.id] = message
+        heapq.heappush(
+            self.heap, (message.visible_at, next(self._seq), message)
+        )
+
+    def front_visible(self, now: float) -> Optional[QueueMessage]:
+        """The frontmost visible message, without removing it."""
+        while self.heap:
+            visible_at, _, msg = self.heap[0]
+            if msg.deleted or msg.visible_at != visible_at:
+                heapq.heappop(self.heap)  # stale entry
+                continue
+            if visible_at <= now:
+                return msg
+            return None
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for m in self.messages.values() if not m.deleted)
+
+
+class QueueService:
+    """A queue storage account endpoint."""
+
+    #: Default visibility timeout applied by Receive (2009 default 30 s).
+    DEFAULT_VISIBILITY_TIMEOUT_S = 30.0
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: np.random.Generator,
+        name: str = "queues",
+    ) -> None:
+        self.env = env
+        self.rng = rng
+        self.name = name
+        self._queues: Dict[str, _QueueState] = {}
+        self._servers: Dict[str, PartitionServer] = {}
+
+    # -- administrative ------------------------------------------------------
+    def create_queue(self, queue: str) -> None:
+        self._queues.setdefault(queue, _QueueState())
+
+    def queue_length(self, queue: str) -> int:
+        return len(self._state(queue))
+
+    def server_for(self, queue: str) -> PartitionServer:
+        server = self._servers.get(queue)
+        if server is None:
+            server = PartitionServer(
+                self.env,
+                self.rng,
+                name=f"{self.name}/{queue}",
+                frontend_c_s=cal.QUEUE_FRONTEND_C_S["add"],
+                frontend_gamma=cal.QUEUE_FRONTEND_GAMMA,
+                cores=cal.TABLE_SERVER_CORES,
+            )
+            self._servers[queue] = server
+        return server
+
+    def _state(self, queue: str) -> _QueueState:
+        state = self._queues.get(queue)
+        if state is None:
+            raise QueueEmptyError(f"queue {queue!r} does not exist")
+        return state
+
+    def _op(self, queue: str, kind: str, size_kb: float) -> OpSpec:
+        latch_key = {
+            "add": "replica-commit",
+            "receive": "head",
+            "peek": None,
+        }[kind]
+        return OpSpec(
+            name=f"queue.{kind}",
+            cpu_s=cal.QUEUE_CPU_S[kind] + cal.QUEUE_CPU_PER_KB_S * size_kb,
+            exclusive_s=cal.QUEUE_EXCLUSIVE_S[kind],
+            latch_key=latch_key,
+            payload_mb=size_kb / 1024.0,
+            frontend_scale=(
+                cal.QUEUE_FRONTEND_C_S[kind] / cal.QUEUE_FRONTEND_C_S["add"]
+            ),
+        )
+
+    def _base(self, kind: str) -> Generator:
+        base = cal.QUEUE_BASE_LATENCY_S[kind]
+        yield self.env.timeout(
+            float(self.rng.exponential(base * 0.15)) + base * 0.85
+        )
+
+    # -- data plane ------------------------------------------------------------
+    def add(self, queue: str, payload: object, size_kb: float = 0.5) -> Generator:
+        """Append a message; returns the QueueMessage."""
+        state = self._state(queue)
+        yield from self._base("add")
+        yield from self.server_for(queue).execute(self._op(queue, "add", size_kb))
+        msg = QueueMessage(
+            payload=payload,
+            size_kb=size_kb,
+            enqueued_at=self.env.now,
+            visible_at=self.env.now,
+        )
+        state.push(msg)
+        return msg
+
+    def peek(self, queue: str) -> Generator:
+        """Return the frontmost visible message without dequeuing.
+
+        Raises QueueEmptyError when nothing is visible.
+        """
+        state = self._state(queue)
+        yield from self._base("peek")
+        yield from self.server_for(queue).execute(self._op(queue, "peek", 0.1))
+        msg = state.front_visible(self.env.now)
+        if msg is None:
+            raise QueueEmptyError(f"queue {queue!r} has no visible messages")
+        return msg
+
+    def receive(
+        self,
+        queue: str,
+        visibility_timeout_s: Optional[float] = None,
+    ) -> Generator:
+        """Dequeue the frontmost visible message, hiding it for the
+        visibility timeout.  Raises QueueEmptyError if none is visible."""
+        vt = (
+            self.DEFAULT_VISIBILITY_TIMEOUT_S
+            if visibility_timeout_s is None
+            else float(visibility_timeout_s)
+        )
+        if not 0 < vt <= cal.QUEUE_MAX_VISIBILITY_TIMEOUT_S:
+            raise ValueError(
+                "visibility timeout must be in (0, "
+                f"{cal.QUEUE_MAX_VISIBILITY_TIMEOUT_S}] seconds"
+            )
+        state = self._state(queue)
+        yield from self._base("receive")
+        yield from self.server_for(queue).execute(
+            self._op(queue, "receive", 0.5)
+        )
+        msg = state.front_visible(self.env.now)
+        if msg is None:
+            raise QueueEmptyError(f"queue {queue!r} has no visible messages")
+        msg.visible_at = self.env.now + vt
+        msg.dequeue_count += 1
+        msg.pop_receipt = next(_receipts)
+        state.push(msg)  # re-index under the new visibility time
+        return msg
+
+    def receive_batch(
+        self,
+        queue: str,
+        max_messages: int = 32,
+        visibility_timeout_s: Optional[float] = None,
+    ) -> Generator:
+        """Dequeue up to ``max_messages`` visible messages in one call
+        (the 2009 GetMessages API, capped at 32).
+
+        One request round trip and one head-latch acquisition amortized
+        over the whole batch, so it is the Section 6.1 remedy for
+        consumers bottlenecked on per-receive overhead.  Returns a
+        possibly-empty list (unlike :meth:`receive`, an empty queue is
+        not an error -- matching the REST semantics).
+        """
+        if not 1 <= max_messages <= 32:
+            raise ValueError("max_messages must be in [1, 32]")
+        vt = (
+            self.DEFAULT_VISIBILITY_TIMEOUT_S
+            if visibility_timeout_s is None
+            else float(visibility_timeout_s)
+        )
+        if not 0 < vt <= cal.QUEUE_MAX_VISIBILITY_TIMEOUT_S:
+            raise ValueError(
+                "visibility timeout must be in (0, "
+                f"{cal.QUEUE_MAX_VISIBILITY_TIMEOUT_S}] seconds"
+            )
+        state = self._state(queue)
+        yield from self._base("receive")
+        # The batch holds the head latch once; marshalling cost grows
+        # with the batch size.
+        op = self._op(queue, "receive", 0.5)
+        yield from self.server_for(queue).execute(
+            OpSpec(
+                name="queue.receive_batch",
+                cpu_s=op.cpu_s * (1 + 0.15 * (max_messages - 1)),
+                exclusive_s=op.exclusive_s,
+                latch_key=op.latch_key,
+                payload_mb=op.payload_mb * max_messages,
+                frontend_scale=op.frontend_scale,
+            )
+        )
+        batch = []
+        while len(batch) < max_messages:
+            msg = state.front_visible(self.env.now)
+            if msg is None:
+                break
+            msg.visible_at = self.env.now + vt
+            msg.dequeue_count += 1
+            msg.pop_receipt = next(_receipts)
+            state.push(msg)
+            batch.append(msg)
+        return batch
+
+    def delete(self, queue: str, message: QueueMessage, pop_receipt: int) -> Generator:
+        """Remove a received message permanently.
+
+        Fails if the pop receipt is stale (the message timed out and was
+        re-received elsewhere) -- the hazard Section 5.2 describes.
+        """
+        state = self._state(queue)
+        yield from self._base("receive")
+        yield from self.server_for(queue).execute(
+            self._op(queue, "receive", 0.1)
+        )
+        current = state.messages.get(message.id)
+        if current is None or current.deleted:
+            raise MessageNotFoundError(f"message {message.id} not found")
+        if current.pop_receipt != pop_receipt:
+            raise MessageNotFoundError(
+                f"stale pop receipt for message {message.id}"
+            )
+        current.deleted = True

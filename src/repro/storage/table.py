@@ -1,0 +1,277 @@
+"""The Azure Table storage service model.
+
+Tables are schemaless sets of entities addressed by (PartitionKey,
+RowKey).  The paper's experiment (Section 3.2) drives four operations on
+a single partition -- Insert, Query (keyed), Update (unconditional, same
+entity from every client) and Delete -- with entity sizes 1-64 kB, and
+additionally property-filter queries that scan the partition (Section
+6.1).  Each table partition is served by one :class:`PartitionServer`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro import calibration as cal
+from repro.simcore import Environment
+from repro.storage.errors import (
+    EntityAlreadyExistsError,
+    EntityNotFoundError,
+    PreconditionFailedError,
+)
+from repro.storage.partition import OpSpec, PartitionServer
+
+_etags = itertools.count(1)
+
+
+@dataclass
+class Entity:
+    """One table row: property bag plus system columns."""
+
+    partition_key: str
+    row_key: str
+    properties: Dict[str, Any] = field(default_factory=dict)
+    size_kb: float = 1.0
+    etag: int = field(default_factory=lambda: next(_etags))
+    timestamp: float = 0.0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.partition_key, self.row_key)
+
+
+class TableService:
+    """A table storage account endpoint.
+
+    All operations are generators to be driven from a simulation process
+    (typically via the client SDK, which adds timeout racing and retry).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: np.random.Generator,
+        name: str = "tables",
+    ) -> None:
+        self.env = env
+        self.rng = rng
+        self.name = name
+        # One partition server per (table, partition key) range.  The
+        # paper's workload uses a single partition, so contention
+        # concentrates exactly as it did in the measurement.
+        self._servers: Dict[Tuple[str, str], PartitionServer] = {}
+        self._tables: Dict[str, Dict[Tuple[str, str], Entity]] = {}
+
+    # -- administrative ------------------------------------------------------
+    def create_table(self, table: str) -> None:
+        self._tables.setdefault(table, {})
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def entity_count(self, table: str, partition_key: Optional[str] = None) -> int:
+        rows = self._entities(table)
+        if partition_key is None:
+            return len(rows)
+        return sum(1 for (pk, _rk) in rows if pk == partition_key)
+
+    def server_for(self, table: str, partition_key: str) -> PartitionServer:
+        key = (table, partition_key)
+        server = self._servers.get(key)
+        if server is None:
+            server = PartitionServer(
+                self.env,
+                self.rng,
+                name=f"{self.name}/{table}/{partition_key}",
+                frontend_c_s=cal.TABLE_FRONTEND_C_S,
+                frontend_gamma=cal.TABLE_FRONTEND_GAMMA,
+                cores=cal.TABLE_SERVER_CORES,
+                overload_knee_mb=cal.TABLE_OVERLOAD_KNEE_MB,
+                overload_slope_per_mb=cal.TABLE_OVERLOAD_SLOPE_PER_MB,
+            )
+            self._servers[key] = server
+        return server
+
+    def _entities(self, table: str) -> Dict[Tuple[str, str], Entity]:
+        rows = self._tables.get(table)
+        if rows is None:
+            raise EntityNotFoundError(f"table {table!r} does not exist")
+        return rows
+
+    def _op(self, kind: str, size_kb: float, latch_key: Any) -> OpSpec:
+        return OpSpec(
+            name=f"table.{kind}",
+            cpu_s=cal.TABLE_CPU_S[kind] + cal.TABLE_CPU_PER_KB_S * size_kb,
+            exclusive_s=cal.TABLE_EXCLUSIVE_S[kind],
+            latch_key=latch_key,
+            payload_mb=size_kb / 1024.0,
+        )
+
+    def _base(self, kind: str) -> Generator:
+        # Client<->server RTT plus the fixed request path.
+        base = cal.TABLE_BASE_LATENCY_S[kind]
+        yield self.env.timeout(float(self.rng.exponential(base * 0.15)) + base * 0.85)
+
+    # -- data plane ------------------------------------------------------------
+    def insert(self, table: str, entity: Entity) -> Generator:
+        """Insert a new entity; fails if the key already exists."""
+        rows = self._entities(table)
+        yield from self._base("insert")
+        server = self.server_for(table, entity.partition_key)
+        yield from server.execute(
+            self._op("insert", entity.size_kb, latch_key="index")
+        )
+        if entity.key in rows:
+            raise EntityAlreadyExistsError(f"{entity.key} already exists")
+        entity.timestamp = self.env.now
+        rows[entity.key] = entity
+        return entity
+
+    def query(self, table: str, partition_key: str, row_key: str) -> Generator:
+        """Point query by PartitionKey + RowKey (the fast, indexed path)."""
+        rows = self._entities(table)
+        yield from self._base("query")
+        server = self.server_for(table, partition_key)
+        found = rows.get((partition_key, row_key))
+        size_kb = found.size_kb if found else 0.5
+        yield from server.execute(self._op("query", size_kb, latch_key=None))
+        if found is None:
+            raise EntityNotFoundError(f"({partition_key}, {row_key}) not found")
+        return found
+
+    def update(
+        self,
+        table: str,
+        entity: Entity,
+        if_match: Optional[int] = None,
+    ) -> Generator:
+        """Replace an entity.  ``if_match=None`` is the unconditional
+        update the paper tests (no atomicity enforcement across clients,
+        but the server still serializes writes to one entity)."""
+        rows = self._entities(table)
+        yield from self._base("update")
+        server = self.server_for(table, entity.partition_key)
+        yield from server.execute(
+            self._op("update", entity.size_kb, latch_key=("entity", entity.key))
+        )
+        current = rows.get(entity.key)
+        if current is None:
+            raise EntityNotFoundError(f"{entity.key} not found")
+        if if_match is not None and current.etag != if_match:
+            raise PreconditionFailedError(
+                f"etag mismatch on {entity.key}: {current.etag} != {if_match}"
+            )
+        entity.etag = next(_etags)
+        entity.timestamp = self.env.now
+        rows[entity.key] = entity
+        return entity
+
+    def delete(self, table: str, partition_key: str, row_key: str) -> Generator:
+        """Delete an entity by key."""
+        rows = self._entities(table)
+        yield from self._base("delete")
+        server = self.server_for(table, partition_key)
+        found = rows.get((partition_key, row_key))
+        size_kb = found.size_kb if found else 0.5
+        yield from server.execute(
+            self._op("delete", size_kb, latch_key="index")
+        )
+        if found is None:
+            raise EntityNotFoundError(f"({partition_key}, {row_key}) not found")
+        del rows[found.key]
+
+    def insert_batch(self, table: str, entities: List[Entity]) -> Generator:
+        """Entity Group Transaction: insert up to 100 entities of ONE
+        partition atomically (added to Azure tables in late 2009).
+
+        The batch pays one request round trip and holds the index latch
+        once, so it is far cheaper than N singleton inserts -- but if any
+        key exists, the whole batch fails and nothing is written.
+        """
+        if not entities:
+            raise ValueError("batch must not be empty")
+        if len(entities) > 100:
+            raise ValueError("Entity Group Transactions cap at 100 entities")
+        partition_keys = {e.partition_key for e in entities}
+        if len(partition_keys) != 1:
+            raise ValueError(
+                "all batch entities must share one PartitionKey"
+            )
+        keys = [e.key for e in entities]
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate keys within batch")
+        rows = self._entities(table)
+        yield from self._base("insert")
+        partition_key = next(iter(partition_keys))
+        server = self.server_for(table, partition_key)
+        total_kb = sum(e.size_kb for e in entities)
+        yield from server.execute(
+            OpSpec(
+                name="table.insert_batch",
+                cpu_s=(
+                    cal.TABLE_CPU_S["insert"]
+                    + cal.TABLE_CPU_PER_KB_S * total_kb
+                ),
+                exclusive_s=cal.TABLE_EXCLUSIVE_S["insert"],
+                latch_key="index",
+                payload_mb=total_kb / 1024.0,
+            )
+        )
+        conflicts = [key for key in keys if key in rows]
+        if conflicts:
+            raise EntityAlreadyExistsError(
+                f"batch aborted: {conflicts[0]} already exists"
+            )
+        for entity in entities:
+            entity.timestamp = self.env.now
+            rows[entity.key] = entity
+        return entities
+
+    def query_by_property(
+        self,
+        table: str,
+        partition_key: str,
+        predicate: Callable[[Entity], bool],
+    ) -> Generator:
+        """Property-filter query: scans the partition (no secondary
+        indexes exist -- Section 6.1), so cost grows with partition size
+        and the scan occupies a CPU core for its duration."""
+        rows = self._entities(table)
+        yield from self._base("query")
+        server = self.server_for(table, partition_key)
+        in_partition = [e for e in rows.values() if e.partition_key == partition_key]
+        scan_cpu = cal.TABLE_SCAN_S_PER_1K_ENTITIES * (len(in_partition) / 1000.0)
+        yield from server.execute(
+            OpSpec(
+                name="table.scan",
+                cpu_s=cal.TABLE_CPU_S["query"] + scan_cpu,
+                payload_mb=0.001,
+                # Scan cost is dominated by data volume, not service
+                # jitter, so it is deterministic per partition size.
+                deterministic=True,
+            )
+        )
+        return [e for e in in_partition if predicate(e)]
+
+
+def make_entity(
+    partition_key: str,
+    row_key: str,
+    size_kb: float = 1.0,
+    **properties: Any,
+) -> Entity:
+    """Convenience constructor mirroring the paper's test schema:
+    {int, int, String, String} plus the keys, with the last string sized
+    to reach ``size_kb``."""
+    props = {"f1": 0, "f2": 0, "f3": "meta", "payload_kb": size_kb}
+    props.update(properties)
+    return Entity(
+        partition_key=partition_key,
+        row_key=row_key,
+        properties=props,
+        size_kb=size_kb,
+    )

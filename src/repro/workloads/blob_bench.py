@@ -1,0 +1,86 @@
+"""The Fig. 1 blob bandwidth benchmark.
+
+Protocol (Section 3.1): ``n`` worker-role clients simultaneously
+download the *same* 1 GB blob (download test) or upload 1 GB each under
+*distinct* names into the same container (upload test); report average
+per-client bandwidth and the aggregate service-side throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro import calibration as cal
+from repro.client import BlobClient
+from repro.workloads.harness import Platform, build_platform
+
+
+@dataclass
+class BlobBenchResult:
+    """One (direction, concurrency) cell of Fig. 1."""
+
+    direction: str
+    n_clients: int
+    size_mb: float
+    per_client_mbps: List[float] = field(default_factory=list)
+    makespan_s: float = 0.0
+
+    @property
+    def mean_client_mbps(self) -> float:
+        return sum(self.per_client_mbps) / len(self.per_client_mbps)
+
+    @property
+    def aggregate_mbps(self) -> float:
+        """Service-side throughput: total bytes over the busy window."""
+        return self.n_clients * self.size_mb / self.makespan_s
+
+
+def run_blob_test(
+    direction: str,
+    n_clients: int,
+    size_mb: float = cal.BLOB_TEST_SIZE_MB,
+    seed: int = 0,
+    platform: Platform = None,
+) -> BlobBenchResult:
+    """Run one concurrency level of the download or upload test."""
+    if direction not in ("download", "upload"):
+        raise ValueError(f"direction must be download/upload, got {direction!r}")
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    p = platform or build_platform(seed=seed, n_clients=n_clients)
+    blob_svc = p.account.blobs
+    blob_svc.create_container("bench")
+    if direction == "download":
+        blob_svc.seed_blob("bench", "shared-1gb", size_mb)
+
+    result = BlobBenchResult(direction, n_clients, size_mb)
+
+    def client_proc(env, idx):
+        client = BlobClient(blob_svc, p.clients[idx])
+        start = env.now
+        if direction == "download":
+            yield from client.download("bench", "shared-1gb")
+        else:
+            yield from client.upload("bench", f"up-{idx}", size_mb)
+        result.per_client_mbps.append(size_mb / (env.now - start))
+
+    for idx in range(n_clients):
+        p.env.process(client_proc(p.env, idx))
+    start = p.env.now
+    p.env.run()
+    result.makespan_s = p.env.now - start
+    return result
+
+
+def sweep_blob(
+    direction: str,
+    levels: Sequence[int] = cal.CONCURRENCY_LEVELS,
+    size_mb: float = cal.BLOB_TEST_SIZE_MB,
+    seed: int = 0,
+) -> Dict[int, BlobBenchResult]:
+    """Fig. 1's full concurrency sweep for one direction."""
+    return {
+        n: run_blob_test(direction, n, size_mb=size_mb, seed=seed + n)
+        for n in levels
+    }

@@ -1,0 +1,68 @@
+"""Shared experiment scaffolding: one simulated platform per trial."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.network import Datacenter, FlowNetwork, LatencyModel
+from repro.simcore import Environment, RandomStreams
+from repro.storage import StorageAccount
+
+
+@dataclass
+class Platform:
+    """Everything one benchmark trial runs on."""
+
+    env: Environment
+    streams: RandomStreams
+    network: FlowNetwork
+    datacenter: Datacenter
+    account: StorageAccount
+    latency: LatencyModel
+    #: Per-client network endpoints (each on its own host, as the
+    #: paper's worker-role test clients were).
+    clients: List["HostEndpoint"] = field(default_factory=list)
+
+
+class HostEndpoint:
+    """A worker-role test client pinned to one host."""
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self.nic_tx = host.nic_tx
+        self.nic_rx = host.nic_rx
+
+
+def build_platform(
+    seed: int = 0,
+    n_clients: int = 192,
+    racks: int = 16,
+    hosts_per_rack: int = 16,
+) -> Platform:
+    """Construct a fresh simulated Azure for one trial.
+
+    Every subsystem draws from its own named stream of ``seed``, so two
+    trials with the same seed are bit-identical.
+    """
+    if n_clients > racks * hosts_per_rack:
+        raise ValueError(
+            f"{n_clients} clients need more hosts than "
+            f"{racks}x{hosts_per_rack} provides"
+        )
+    env = Environment()
+    streams = RandomStreams(seed)
+    network = FlowNetwork(env)
+    datacenter = Datacenter(racks=racks, hosts_per_rack=hosts_per_rack)
+    account = StorageAccount(env, streams, network=network)
+    latency = LatencyModel(streams.stream("latency"))
+    clients = [HostEndpoint(h) for h in datacenter.hosts[:n_clients]]
+    return Platform(
+        env=env,
+        streams=streams,
+        network=network,
+        datacenter=datacenter,
+        account=account,
+        latency=latency,
+        clients=clients,
+    )

@@ -1,0 +1,131 @@
+"""The Fig. 3 queue benchmark.
+
+Protocol (Section 3.3): one queue shared by ``n`` worker roles; measure
+Add, Peek and Receive separately at message sizes 0.5-8 kB.  Peek and
+Receive run against a deep pre-filled queue (the paper also checked that
+depth, 200 k vs 2 M messages, does not matter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import calibration as cal
+from repro.client import QueueClient
+from repro.client.retry import NO_RETRY
+from repro.storage.queue import QueueMessage
+from repro.workloads.harness import Platform, build_platform
+
+OPERATIONS = ("add", "peek", "receive")
+
+
+@dataclass
+class ClientOutcome:
+    client: int
+    ops_completed: int
+    elapsed_s: float
+    error: Optional[str] = None
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.ops_completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+@dataclass
+class QueueBenchResult:
+    """One (operation, message size, concurrency) cell of Fig. 3."""
+
+    operation: str
+    n_clients: int
+    message_kb: float
+    outcomes: List[ClientOutcome] = field(default_factory=list)
+
+    @property
+    def mean_client_ops(self) -> float:
+        return sum(o.ops_per_s for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def aggregate_ops(self) -> float:
+        window = max(o.elapsed_s for o in self.outcomes)
+        return sum(o.ops_completed for o in self.outcomes) / window
+
+
+def _prefill(service, queue: str, count: int, size_kb: float) -> None:
+    """Administratively stock the queue (no simulated Add traffic)."""
+    state = service._queues[queue]
+    for i in range(count):
+        state.push(
+            QueueMessage(payload=i, size_kb=size_kb, visible_at=0.0)
+        )
+
+
+def run_queue_test(
+    operation: str,
+    n_clients: int,
+    message_kb: float = 0.5,
+    ops_per_client: int = 100,
+    prefill: Optional[int] = None,
+    seed: int = 0,
+    platform: Platform = None,
+) -> QueueBenchResult:
+    """Run one operation at one concurrency level."""
+    if operation not in OPERATIONS:
+        raise ValueError(f"operation must be one of {OPERATIONS}")
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    p = platform or build_platform(seed=seed, n_clients=n_clients)
+    svc = p.account.queues
+    svc.create_queue("bench")
+    if operation in ("peek", "receive"):
+        needed = n_clients * ops_per_client + 1000
+        _prefill(svc, "bench", prefill if prefill is not None else needed,
+                 message_kb)
+
+    result = QueueBenchResult(operation, n_clients, message_kb)
+
+    def client_proc(env, idx):
+        client = QueueClient(svc, retry=NO_RETRY)
+        start = env.now
+        completed = 0
+        error = None
+        try:
+            for i in range(ops_per_client):
+                if operation == "add":
+                    yield from client.add("bench", f"m-{idx}-{i}", message_kb)
+                elif operation == "peek":
+                    yield from client.peek("bench")
+                else:
+                    # Long visibility so re-receives don't recycle messages
+                    # within the measurement window.
+                    yield from client.receive(
+                        "bench", visibility_timeout_s=7200.0
+                    )
+                completed += 1
+        except Exception as exc:  # noqa: BLE001 - abort on first error
+            error = type(exc).__name__
+        result.outcomes.append(
+            ClientOutcome(idx, completed, env.now - start, error)
+        )
+
+    for idx in range(n_clients):
+        p.env.process(client_proc(p.env, idx))
+    p.env.run()
+    return result
+
+
+def sweep_queue(
+    operation: str,
+    levels: Sequence[int] = cal.CONCURRENCY_LEVELS,
+    message_kb: float = 0.5,
+    ops_per_client: int = 100,
+    seed: int = 0,
+) -> Dict[int, QueueBenchResult]:
+    """Fig. 3's concurrency sweep for one operation."""
+    return {
+        n: run_queue_test(
+            operation, n, message_kb=message_kb,
+            ops_per_client=ops_per_client, seed=seed + n,
+        )
+        for n in levels
+    }

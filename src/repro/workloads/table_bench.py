@@ -1,0 +1,203 @@
+"""The Fig. 2 table benchmark and the Section 6.1 property-filter test.
+
+Protocol (Section 3.2), per concurrency level ``n`` on ONE partition:
+
+1. Insert: each of the n clients inserts 500 new entities.
+2. Query: each client point-queries the same entity 500 times.
+3. Update: every client unconditionally updates the *same* entity, 100x.
+4. Delete: each client deletes the 500 entities it inserted.
+
+The benchmark program (like the authors') aborts a client's phase at the
+first storage exception, which is how "only 89 clients successfully
+finished all 500 insert operations" presents.  Raw service behaviour is
+wanted, so the driver runs with retries disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import calibration as cal
+from repro.client import TableClient
+from repro.client.retry import NO_RETRY
+from repro.storage.table import make_entity
+from repro.workloads.harness import Platform, build_platform
+
+PHASES = ("insert", "query", "update", "delete")
+
+
+@dataclass
+class PhaseOutcome:
+    """One client's result for one phase."""
+
+    client: int
+    ops_completed: int
+    elapsed_s: float
+    error: Optional[str] = None
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.ops_completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class TableBenchResult:
+    """One (entity size, concurrency) column of Fig. 2."""
+
+    n_clients: int
+    entity_kb: float
+    phases: Dict[str, List[PhaseOutcome]] = field(default_factory=dict)
+
+    def mean_client_ops(self, phase: str) -> float:
+        outcomes = self.phases[phase]
+        return sum(o.ops_per_s for o in outcomes) / len(outcomes)
+
+    def aggregate_ops(self, phase: str) -> float:
+        outcomes = self.phases[phase]
+        window = max(o.elapsed_s for o in outcomes)
+        return sum(o.ops_completed for o in outcomes) / window
+
+    def failed_clients(self, phase: str) -> int:
+        return sum(1 for o in self.phases[phase] if not o.finished)
+
+
+def run_table_test(
+    n_clients: int,
+    entity_kb: float = 4.0,
+    ops_per_client: Optional[Dict[str, int]] = None,
+    seed: int = 0,
+    platform: Platform = None,
+) -> TableBenchResult:
+    """Run the four-phase protocol at one concurrency level."""
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    ops = dict(cal.TABLE_OPS_PER_CLIENT)
+    if ops_per_client:
+        ops.update(ops_per_client)
+    p = platform or build_platform(seed=seed, n_clients=n_clients)
+    svc = p.account.tables
+    svc.create_table("bench")
+    result = TableBenchResult(n_clients, entity_kb)
+
+    shared_key = ("bench-pk", "shared-row")
+    svc._tables["bench"][shared_key] = make_entity(
+        *shared_key, size_kb=entity_kb
+    )
+
+    def phase_proc(env, phase, idx, outcomes):
+        client = TableClient(svc, retry=NO_RETRY)
+        start = env.now
+        completed = 0
+        error = None
+        try:
+            for op_i in range(ops[phase]):
+                if phase == "insert":
+                    yield from client.insert(
+                        "bench",
+                        make_entity(
+                            "bench-pk", f"c{idx}-r{op_i}", size_kb=entity_kb
+                        ),
+                    )
+                elif phase == "query":
+                    yield from client.query("bench", *shared_key)
+                elif phase == "update":
+                    yield from client.update(
+                        "bench", make_entity(*shared_key, size_kb=entity_kb)
+                    )
+                else:
+                    yield from client.delete(
+                        "bench", "bench-pk", f"c{idx}-r{op_i}"
+                    )
+                completed += 1
+        except Exception as exc:  # noqa: BLE001 - benchmark aborts on error
+            error = type(exc).__name__
+        outcomes.append(
+            PhaseOutcome(idx, completed, env.now - start, error)
+        )
+
+    for phase in PHASES:
+        outcomes: List[PhaseOutcome] = []
+        for idx in range(n_clients):
+            p.env.process(phase_proc(p.env, phase, idx, outcomes))
+        p.env.run()
+        result.phases[phase] = outcomes
+    return result
+
+
+def sweep_table(
+    levels: Sequence[int] = cal.CONCURRENCY_LEVELS,
+    entity_kb: float = 4.0,
+    ops_per_client: Optional[Dict[str, int]] = None,
+    seed: int = 0,
+) -> Dict[int, TableBenchResult]:
+    """Fig. 2's concurrency sweep for one entity size."""
+    return {
+        n: run_table_test(
+            n, entity_kb=entity_kb, ops_per_client=ops_per_client,
+            seed=seed + n,
+        )
+        for n in levels
+    }
+
+
+@dataclass
+class PropertyFilterResult:
+    """Section 6.1's non-indexed query experiment."""
+
+    n_clients: int
+    n_entities: int
+    timed_out_clients: int
+    succeeded_clients: int
+    latencies_s: List[float] = field(default_factory=list)
+
+
+def run_property_filter_test(
+    n_clients: int = 32,
+    n_entities: int = cal.TABLE_SCAN_EXPERIMENT_ENTITIES,
+    seed: int = 0,
+) -> PropertyFilterResult:
+    """Query a ~220k-entity partition by property filter from n clients.
+
+    The paper: "over a half of the 32 concurrent clients got time-out
+    exceptions instead of correct results."
+    """
+    p = build_platform(seed=seed, n_clients=max(n_clients, 1))
+    svc = p.account.tables
+    svc.create_table("big")
+    # Pre-populate administratively (simulating 220k inserts one by one
+    # is not the point of this experiment).
+    rows = svc._tables["big"]
+    for i in range(n_entities):
+        e = make_entity("pk", f"r{i}", f1=i % 97)
+        rows[e.key] = e
+
+    outcomes = {"timeout": 0, "ok": 0}
+    latencies: List[float] = []
+
+    def scanner(env, idx):
+        client = TableClient(svc, retry=NO_RETRY)
+        start = env.now
+        try:
+            yield from client.query_by_property(
+                "big", "pk", lambda e: e.properties["f1"] == 13
+            )
+            outcomes["ok"] += 1
+            latencies.append(env.now - start)
+        except Exception:  # noqa: BLE001 - timeout is the expected failure
+            outcomes["timeout"] += 1
+
+    for idx in range(n_clients):
+        p.env.process(scanner(p.env, idx))
+    p.env.run()
+    return PropertyFilterResult(
+        n_clients=n_clients,
+        n_entities=n_entities,
+        timed_out_clients=outcomes["timeout"],
+        succeeded_clients=outcomes["ok"],
+        latencies_s=latencies,
+    )

@@ -1,0 +1,70 @@
+"""Property-based tests on scaling-policy decision logic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autoscale import FixedFleet, HotStandby, ReactivePolicy, SchedulePolicy
+from repro.autoscale.policies import FleetView
+
+views = st.builds(
+    FleetView,
+    time_s=st.floats(min_value=0, max_value=1e6),
+    ready=st.integers(min_value=0, max_value=500),
+    starting=st.integers(min_value=0, max_value=100),
+    backlog=st.integers(min_value=0, max_value=10_000),
+    completed_recent=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@given(view=views, count=st.integers(min_value=1, max_value=100))
+@settings(max_examples=100, deadline=None)
+def test_property_fixed_always_its_count(view, count):
+    assert FixedFleet(count).desired_count(view) == count
+
+
+@given(
+    view=views,
+    base=st.integers(min_value=1, max_value=50),
+    standbys=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_hot_standby_never_below_base_plus_margin(view, base, standbys):
+    desired = HotStandby(base, standbys).desired_count(view)
+    assert desired >= base + standbys
+    # Monotone in backlog.
+    more = FleetView(
+        view.time_s, view.ready, view.starting,
+        view.backlog + 100, view.completed_recent,
+    )
+    assert HotStandby(base, standbys).desired_count(more) >= desired
+
+
+@given(view=views, base=st.integers(min_value=1, max_value=20))
+@settings(max_examples=100, deadline=None)
+def test_property_reactive_bounded(view, base):
+    policy = ReactivePolicy(base=base, max_count=base + 40)
+    desired = policy.desired_count(view)
+    assert base <= desired <= base + 40
+
+
+@given(
+    view=views,
+    steps=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e6),
+            st.integers(min_value=1, max_value=100),
+        ),
+        min_size=1, max_size=8,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_schedule_picks_latest_breakpoint(view, steps):
+    policy = SchedulePolicy(steps)
+    desired = policy.desired_count(view)
+    ordered = sorted(steps)
+    expected = ordered[0][1]
+    for start, count in ordered:
+        if view.time_s >= start:
+            expected = count
+    assert desired == expected
+    assert desired >= 1

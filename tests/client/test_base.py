@@ -1,0 +1,202 @@
+"""Unit tests for client plumbing: timeout racing, retries, measurement."""
+
+import pytest
+
+from repro.client import ClientTimeoutError, RetryPolicy, race_timeout
+from repro.client.base import measured_call, with_retries
+from repro.client.retry import NO_RETRY
+from repro.simcore import Environment
+from repro.storage.errors import (
+    EntityNotFoundError,
+    OperationTimeoutError,
+    ServerBusyError,
+)
+
+
+def _run(env, gen):
+    box = {}
+
+    def proc(env):
+        try:
+            box["result"] = yield from gen
+        except Exception as exc:  # noqa: BLE001 - test harness
+            box["error"] = exc
+
+    env.process(proc(env))
+    env.run()
+    return box.get("result"), box.get("error")
+
+
+def _slow_op(env, duration, value="done", error=None):
+    yield env.timeout(duration)
+    if error is not None:
+        raise error
+    return value
+
+
+def test_race_timeout_returns_result_when_fast():
+    env = Environment()
+
+    def scenario(env):
+        result = yield from race_timeout(env, _slow_op(env, 1.0), 5.0)
+        return result, env.now
+
+    (result, finished_at), err = _run(env, scenario(env))
+    assert err is None and result == "done"
+    assert finished_at == pytest.approx(1.0)  # not delayed by the timer
+
+
+def test_race_timeout_raises_when_slow():
+    env = Environment()
+
+    def scenario(env):
+        try:
+            yield from race_timeout(env, _slow_op(env, 10.0), 2.0)
+        except ClientTimeoutError:
+            return env.now
+        return None
+
+    raised_at, err = _run(env, scenario(env))
+    assert err is None
+    assert raised_at == pytest.approx(2.0)
+
+
+def test_race_timeout_none_means_no_timeout():
+    env = Environment()
+    result, err = _run(env, race_timeout(env, _slow_op(env, 100.0), None))
+    assert err is None and result == "done"
+
+
+def test_abandoned_operation_failure_does_not_crash_run():
+    env = Environment()
+
+    def failing_late(env):
+        yield env.timeout(10.0)
+        raise ServerBusyError("late failure nobody hears")
+
+    _, err = _run(env, race_timeout(env, failing_late(env), 1.0))
+    assert isinstance(err, ClientTimeoutError)
+    env.run()  # the orphan fails at t=10 but is defused
+
+
+def test_race_timeout_propagates_operation_error():
+    env = Environment()
+    _, err = _run(
+        env,
+        race_timeout(
+            env, _slow_op(env, 1.0, error=EntityNotFoundError("x")), 5.0
+        ),
+    )
+    assert isinstance(err, EntityNotFoundError)
+
+
+def test_with_retries_retries_retryable_errors():
+    env = Environment()
+    attempts = {"n": 0}
+
+    def flaky():
+        attempts["n"] += 1
+        yield env.timeout(0.1)
+        if attempts["n"] < 3:
+            raise ServerBusyError("busy")
+        return "ok"
+
+    policy = RetryPolicy(max_retries=3, backoff_s=1.0)
+    result, err = _run(env, with_retries(env, flaky, policy, None))
+    assert err is None and result == "ok"
+    assert attempts["n"] == 3
+    # Two backoffs: 1.0 + 2.0, plus three 0.1s attempts.
+    assert env.now == pytest.approx(3.3)
+
+
+def test_with_retries_gives_up_after_max():
+    env = Environment()
+    attempts = {"n": 0}
+
+    def always_busy():
+        attempts["n"] += 1
+        yield env.timeout(0.1)
+        raise ServerBusyError("busy")
+
+    policy = RetryPolicy(max_retries=2, backoff_s=0.5)
+    _, err = _run(env, with_retries(env, always_busy, policy, None))
+    assert isinstance(err, ServerBusyError)
+    assert attempts["n"] == 3  # initial + 2 retries
+
+
+def test_with_retries_never_retries_semantic_errors():
+    env = Environment()
+    attempts = {"n": 0}
+
+    def not_found():
+        attempts["n"] += 1
+        yield env.timeout(0.1)
+        raise EntityNotFoundError("missing")
+
+    policy = RetryPolicy(max_retries=5)
+    _, err = _run(env, with_retries(env, not_found, policy, None))
+    assert isinstance(err, EntityNotFoundError)
+    assert attempts["n"] == 1
+
+
+def test_no_retry_policy():
+    assert not NO_RETRY.should_retry(ServerBusyError(), 0)
+
+
+def test_retry_policy_classification():
+    policy = RetryPolicy(max_retries=2)
+    assert policy.should_retry(OperationTimeoutError(), 0)
+    assert policy.should_retry(ServerBusyError(), 1)
+    assert not policy.should_retry(ServerBusyError(), 2)
+    assert not policy.should_retry(ValueError(), 0)
+    assert policy.backoff(0) < policy.backoff(1)
+
+
+def test_measured_call_records_latency_and_outcome():
+    env = Environment()
+    pair, err = _run(
+        env,
+        measured_call(env, lambda: _slow_op(env, 2.5), NO_RETRY, None),
+    )
+    assert err is None
+    result, outcome = pair
+    assert result == "done"
+    assert outcome.ok
+    assert outcome.latency_s == pytest.approx(2.5)
+    assert outcome.retries == 0
+
+
+def test_measured_call_captures_error_without_raising():
+    env = Environment()
+    pair, err = _run(
+        env,
+        measured_call(
+            env,
+            lambda: _slow_op(env, 1.0, error=EntityNotFoundError("x")),
+            NO_RETRY, None,
+        ),
+    )
+    assert err is None
+    result, outcome = pair
+    assert result is None
+    assert not outcome.ok
+    assert isinstance(outcome.error, EntityNotFoundError)
+
+
+def test_measured_call_counts_retries():
+    env = Environment()
+    attempts = {"n": 0}
+
+    def flaky():
+        attempts["n"] += 1
+        yield env.timeout(0.1)
+        if attempts["n"] < 2:
+            raise ServerBusyError("busy")
+        return "ok"
+
+    pair, _ = _run(
+        env,
+        measured_call(env, flaky, RetryPolicy(max_retries=3), None),
+    )
+    _result, outcome = pair
+    assert outcome.retries == 1

@@ -1,0 +1,96 @@
+"""Unit tests for the host degradation model (Fig. 7 mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DegradationModel, VMInstance
+from repro.cluster.degradation import SECONDS_PER_DAY
+from repro.cluster.sizes import get_size
+from repro.simcore import Environment, RandomStreams
+
+
+def _model(env=None, seed=0, **kw):
+    env = env or Environment()
+    return DegradationModel(env, RandomStreams(seed).stream("degrade"), **kw)
+
+
+def _fleet(n):
+    return [VMInstance("worker", get_size("small"), 0) for _ in range(n)]
+
+
+def test_daily_fraction_memoized():
+    m = _model()
+    assert m.daily_fraction(3) == m.daily_fraction(3)
+
+
+def test_most_days_near_zero_some_epidemic():
+    m = _model(seed=7)
+    fracs = np.array([m.daily_fraction(d) for d in range(400)])
+    assert np.median(fracs) < 0.01          # typical day: sub-percent
+    assert fracs.max() > 0.02               # some epidemic days
+    assert fracs.max() <= 0.5
+    epidemic_days = sum(m.is_epidemic_day(d) for d in range(400))
+    assert 10 <= epidemic_days <= 70        # ~8% of days
+
+
+def test_degraded_count_stochastic_rounding_unbiased():
+    m = _model(seed=1)
+    m._daily_fraction[0] = 0.005  # 1.0 expected out of 200
+    m._epidemic[0] = False
+    counts = [m.degraded_count(0, 200) for _ in range(4000)]
+    assert np.mean(counts) == pytest.approx(1.0, rel=0.15)
+
+
+def test_apply_day_marks_requested_fraction():
+    m = _model(seed=2)
+    m._daily_fraction[0] = 0.10
+    m._epidemic[0] = True
+    fleet = _fleet(200)
+    slow = m.apply_day(0, fleet)
+    assert len(slow) in (20, 21)
+    assert all(vm.slowdown > 4.0 for vm in slow)
+    healthy = [vm for vm in fleet if vm not in slow]
+    assert all(vm.slowdown == 1.0 for vm in healthy)
+
+
+def test_apply_day_resets_previous_day():
+    m = _model(seed=3)
+    fleet = _fleet(50)
+    m._daily_fraction[0], m._epidemic[0] = 0.2, True
+    m._daily_fraction[1], m._epidemic[1] = 0.0, False
+    m.apply_day(0, fleet)
+    assert any(vm.is_degraded for vm in fleet)
+    m.apply_day(1, fleet)
+    assert not any(vm.is_degraded for vm in fleet)
+
+
+def test_run_process_flips_on_day_boundaries():
+    env = Environment()
+    m = _model(env=env, seed=4)
+    # Force: day 0 clean, day 1 fully epidemic.
+    m._daily_fraction[0], m._epidemic[0] = 0.0, False
+    m._daily_fraction[1], m._epidemic[1] = 0.3, True
+    fleet = _fleet(40)
+    env.process(m.run(fleet))
+    env.run(until=SECONDS_PER_DAY * 0.5)
+    assert not any(vm.is_degraded for vm in fleet)
+    env.run(until=SECONDS_PER_DAY * 1.5)
+    assert sum(vm.is_degraded for vm in fleet) == 12
+
+
+def test_validation():
+    env = Environment()
+    rng = RandomStreams(0).stream("x")
+    with pytest.raises(ValueError):
+        DegradationModel(env, rng, slowdown=1.0)
+    with pytest.raises(ValueError):
+        DegradationModel(env, rng, epidemic_rate=1.5)
+
+
+def test_long_run_average_matches_table2_order_of_magnitude():
+    """Volume-weighted (uniform) expected degraded fraction should be in
+    the 0.1%-1% band so the Table-2 aggregate (0.17%) is reachable once
+    epidemic days carry less volume."""
+    m = _model(seed=9)
+    fracs = np.array([m.daily_fraction(d) for d in range(2000)])
+    assert 0.001 <= fracs.mean() <= 0.01

@@ -1,0 +1,56 @@
+"""Property/fuzz tests: the fabric never corrupts deployment state."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import FabricController, VMState
+from repro.simcore import Environment, RandomStreams
+
+#: Abstract operations a management client might attempt in any order.
+OPS = ("run", "add", "suspend", "delete")
+
+
+@given(
+    ops=st.lists(st.sampled_from(OPS), min_size=1, max_size=12),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_arbitrary_op_sequences_never_corrupt_state(ops, seed):
+    """Driving a deployment with random (often illegal) operation
+    sequences raises clean ValueErrors but never corrupts the state
+    machine: instance states always remain mutually consistent."""
+    env = Environment()
+    fabric = FabricController(
+        env, RandomStreams(seed).stream("fuzz"), inject_failures=False
+    )
+    log = []
+
+    def driver(env):
+        deployment = yield from fabric.create_deployment("worker", "small", 2)
+        for op in ops:
+            try:
+                if op == "run":
+                    yield from fabric.run(deployment)
+                elif op == "add":
+                    yield from fabric.add_instances(deployment, 2)
+                elif op == "suspend":
+                    yield from fabric.suspend(deployment)
+                else:
+                    yield from fabric.delete(deployment)
+            except ValueError as exc:
+                log.append(("rejected", op, str(exc)))
+            # Invariants that must hold after every step:
+            states = [vm.state for vm in deployment.instances]
+            if deployment.deleted:
+                assert all(s is VMState.DELETED for s in states)
+            else:
+                assert VMState.DELETED not in states
+                # No instance is ever both placed and deleted, and core
+                # accounting can never go negative.
+                for vm in deployment.instances:
+                    if vm.node is not None:
+                        assert vm in vm.node.vms
+                        assert vm.node.free_cores >= 0
+
+    env.process(driver(env))
+    env.run()

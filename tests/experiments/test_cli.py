@@ -1,0 +1,52 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for eid in ("fig1", "fig2", "table1", "table2", "fig7"):
+        assert eid in out
+
+
+def test_calibration_command(capsys):
+    assert main(["calibration"]) == 0
+    out = capsys.readouterr().out
+    assert "[network]" in out and "replication_factor" in out
+
+
+def test_run_command_executes_experiment(capsys):
+    code = main(["run", "fig1", "--scale", "0.05", "--seed", "2"])
+    out = capsys.readouterr().out
+    assert "fig1" in out and "Shape checks" in out
+    assert code == 0
+
+
+def test_run_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command_json_export(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    code = main([
+        "run", "fig1", "--scale", "0.05", "--seed", "2",
+        "--json", str(out),
+    ])
+    assert code == 0
+    import json
+
+    data = json.loads(out.read_text())
+    assert "fig1" in data
+    assert data["fig1"]["passed"] is True
+    assert any(c["name"].startswith("single client") for c in
+               data["fig1"]["checks"])
+    assert "download" in data["fig1"]["data"]

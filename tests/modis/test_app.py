@@ -1,0 +1,128 @@
+"""Integration tests: the assembled ModisAzure campaign."""
+
+import numpy as np
+import pytest
+
+from repro.modis import ModisAzureApp, ModisConfig
+from repro.modis.analysis import (
+    daily_timeout_series,
+    failure_breakdown,
+    outcome_rate,
+    retry_statistics,
+    slowdown_cost_estimate,
+    task_breakdown,
+)
+from repro.modis.tasks import TaskKind, TaskOutcome
+
+
+def _small_run(seed=3, **kw):
+    config = ModisConfig(
+        seed=seed,
+        target_executions=kw.pop("target_executions", 9000),
+        campaign_days=kw.pop("campaign_days", 60),
+        **kw,
+    )
+    return ModisAzureApp(config).run()
+
+
+def test_campaign_produces_executions_and_completions():
+    result = _small_run()
+    assert result.total_executions > 5000
+    assert result.tasks_completed > 0.8 * len(result.tasks)
+    assert result.tasks_abandoned < 0.15 * len(result.tasks)
+
+
+def test_task_mix_close_to_table2():
+    result = _small_run()
+    mix = task_breakdown(result)
+    assert mix[TaskKind.REPROJECTION][1] == pytest.approx(55.79, abs=3.0)
+    assert mix[TaskKind.REDUCTION][1] == pytest.approx(39.36, abs=3.0)
+    assert mix[TaskKind.SOURCE_DOWNLOAD][1] == pytest.approx(4.57, abs=1.5)
+    assert mix[TaskKind.AGGREGATION][1] == pytest.approx(0.29, abs=0.4)
+
+
+def test_failure_mix_close_to_table2():
+    result = _small_run()
+    failures = dict(failure_breakdown(result))
+    assert failures[TaskOutcome.SUCCESS][1] == pytest.approx(65.5, abs=3.0)
+    assert failures[TaskOutcome.UNKNOWN_FAILURE][1] == pytest.approx(11.3, abs=2.5)
+    assert failures[TaskOutcome.BLOB_ALREADY_EXISTS][1] == pytest.approx(
+        5.98, abs=2.0
+    )
+
+
+def test_vm_timeouts_emerge_in_the_right_band():
+    result = _small_run(seed=5, target_executions=15000, campaign_days=120)
+    rate = outcome_rate(result, TaskOutcome.VM_EXECUTION_TIMEOUT)
+    # Paper: 0.17% of 3M executions; band allows small-sample noise.
+    assert 0.0002 <= rate <= 0.006
+    assert result.monitor_kills > 0
+
+
+def test_daily_timeout_series_spiky_not_flat():
+    result = _small_run(seed=7, target_executions=15000, campaign_days=120)
+    series = daily_timeout_series(result)
+    values = series.values
+    assert len(values) == 120
+    assert values.max() >= 2.0          # visible spikes
+    assert np.median(values) < 1.0      # most days quiet
+    assert (values <= 100.0).all()
+
+
+def test_monitor_disabled_no_vm_timeouts():
+    """The legacy queue-visibility-only design (Section 5.2 ablation)."""
+    result = _small_run(seed=3, use_monitor=False)
+    assert outcome_rate(result, TaskOutcome.VM_EXECUTION_TIMEOUT) == 0.0
+    assert result.monitor_kills == 0
+    # Degraded executions still happened; they just ran 6x slow.
+    degraded = [r for r in result.records if r.degraded_worker]
+    if degraded:
+        healthy_mean = np.mean(
+            [r.duration_s for r in result.records if not r.degraded_worker]
+        )
+        assert np.mean([r.duration_s for r in degraded]) > 2 * healthy_mean
+
+
+def test_retry_statistics_exceed_one_for_compute():
+    result = _small_run()
+    stats = retry_statistics(result)
+    assert stats["reprojection"] > 1.05
+    assert stats["source_download"] == pytest.approx(1.0, abs=0.01)
+
+
+def test_slowdown_cost_counts_killed_time():
+    result = _small_run(seed=5, target_executions=15000, campaign_days=120)
+    wasted = slowdown_cost_estimate(result)
+    kills = sum(
+        1 for r in result.records
+        if r.outcome is TaskOutcome.VM_EXECUTION_TIMEOUT
+    )
+    if kills:
+        # Each kill wasted roughly 4x a nominal duration.
+        assert wasted / kills > 500.0
+
+
+def test_determinism_same_seed_same_log():
+    a = _small_run(seed=11, target_executions=4000, campaign_days=30)
+    b = _small_run(seed=11, target_executions=4000, campaign_days=30)
+    assert a.total_executions == b.total_executions
+    assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
+    # Task ids are globally counted, so compare id-free signatures.
+    assert [(r.kind, r.attempt, r.worker, round(r.started_at, 6))
+            for r in a.records] == [
+        (r.kind, r.attempt, r.worker, round(r.started_at, 6))
+        for r in b.records
+    ]
+
+
+def test_different_seeds_differ():
+    a = _small_run(seed=11, target_executions=4000, campaign_days=30)
+    b = _small_run(seed=12, target_executions=4000, campaign_days=30)
+    assert a.total_executions != b.total_executions or (
+        [r.outcome for r in a.records] != [r.outcome for r in b.records]
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ModisAzureApp(ModisConfig(target_executions=10)).run()

@@ -1,0 +1,72 @@
+"""Tests for execution-log persistence and reload analysis."""
+
+import pytest
+
+from repro.modis import ModisAzureApp, ModisConfig
+from repro.modis.analysis import failure_breakdown, task_breakdown
+from repro.modis.logs import (
+    read_execution_log,
+    record_from_dict,
+    record_to_dict,
+    result_from_log,
+    write_execution_log,
+)
+from repro.modis.tasks import ExecutionRecord, TaskKind, TaskOutcome
+
+
+def _record(**kw):
+    defaults = dict(
+        task_id=1, kind=TaskKind.REPROJECTION, attempt=1, worker=3,
+        started_at=10.0, finished_at=310.0,
+        outcome=TaskOutcome.SUCCESS, degraded_worker=False,
+    )
+    defaults.update(kw)
+    return ExecutionRecord(**defaults)
+
+
+def test_record_roundtrip():
+    original = _record(outcome=TaskOutcome.VM_EXECUTION_TIMEOUT,
+                       degraded_worker=True)
+    restored = record_from_dict(record_to_dict(original))
+    assert restored == original
+
+
+def test_schema_version_enforced():
+    data = record_to_dict(_record())
+    data["v"] = 99
+    with pytest.raises(ValueError):
+        record_from_dict(data)
+
+
+def test_write_and_read_log(tmp_path):
+    records = [_record(task_id=i, attempt=1) for i in range(25)]
+    path = tmp_path / "campaign.jsonl"
+    written = write_execution_log(records, path)
+    assert written == 25
+    loaded = read_execution_log(path)
+    assert loaded == records
+
+
+def test_malformed_line_reports_location(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"v": 1, "task_id": 1}\n')
+    with pytest.raises(ValueError, match="bad.jsonl:1"):
+        read_execution_log(path)
+
+
+def test_reloaded_log_supports_full_analysis(tmp_path):
+    result = ModisAzureApp(ModisConfig(
+        seed=4, target_executions=8000, campaign_days=40,
+    )).run()
+    path = tmp_path / "log.jsonl"
+    write_execution_log(result.records, path)
+    reloaded = result_from_log(path, campaign_days=40)
+
+    assert reloaded.total_executions == result.total_executions
+    # Table 2 computed from disk equals Table 2 computed in memory.
+    assert task_breakdown(reloaded) == task_breakdown(result)
+    assert failure_breakdown(reloaded) == failure_breakdown(result)
+    assert reloaded.monitor_kills == sum(
+        1 for r in result.records
+        if r.outcome is TaskOutcome.VM_EXECUTION_TIMEOUT
+    )

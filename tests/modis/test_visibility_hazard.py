@@ -1,0 +1,87 @@
+"""The Section 5.2 hazard, end to end.
+
+"we found this to be insufficient in cases where tasks take longer than
+the maximum visibility timeout value (2 h) as well as for handling cases
+where a task is being executed slowly and allowing another worker to
+execute the same task concurrently could cause corrupted output."
+
+With a visibility timeout shorter than a slow task's runtime, the
+message reappears and a second worker executes the same task while the
+first is still running -- the duplicate the task-status redesign fixed.
+"""
+
+import pytest
+
+from repro.client import QueueClient
+from repro.modis.tasks import Task, TaskKind, TaskOutcome
+from repro.modis.worker import TASK_QUEUE, WorkerPool
+from repro.simcore import Environment, RandomStreams
+from repro.storage import QueueService
+
+
+class _AlwaysSucceed:
+    def sample(self, kind):
+        return TaskOutcome.SUCCESS
+
+
+def _pool(env, visibility_s, n_workers=3, seed=0):
+    streams = RandomStreams(seed)
+    qsvc = QueueService(env, streams.stream("q"))
+    qsvc.create_queue(TASK_QUEUE)
+    return WorkerPool(
+        env=env,
+        queue_client=QueueClient(qsvc),
+        monitor=None,
+        failure_model=_AlwaysSucceed(),
+        rng=streams.stream("jitter"),
+        n_workers=n_workers,
+        visibility_timeout_s=visibility_s,
+    )
+
+
+def _run_one_task(visibility_s, duration_s, seed=0):
+    env = Environment()
+    pool = _pool(env, visibility_s, seed=seed)
+    task = Task(kind=TaskKind.REPROJECTION, request_id=1,
+                nominal_duration_s=duration_s)
+
+    def submit(env):
+        yield from pool.submit(task)
+
+    env.process(submit(env))
+    env.run(until=duration_s * 20 + 3600)
+    return pool, task
+
+
+def test_short_visibility_causes_duplicate_execution():
+    # Task runs ~1000 s; message reappears after 120 s -> duplicates.
+    pool, task = _run_one_task(visibility_s=120.0, duration_s=1000.0)
+    executions = [r for r in pool.records if r.task_id == task.id]
+    assert len(executions) >= 2, "the Section 5.2 duplicate did not occur"
+    # Overlap: a second execution started before the first finished.
+    first = min(executions, key=lambda r: r.started_at)
+    overlapping = [
+        r for r in executions
+        if r is not first and r.started_at < first.finished_at
+    ]
+    assert overlapping, "duplicate executions should overlap in time"
+    # The completion guard still counts the task exactly once.
+    assert task.completed
+    assert pool.tasks_completed == 1
+
+
+def test_long_visibility_prevents_duplicates():
+    pool, task = _run_one_task(visibility_s=7200.0, duration_s=1000.0)
+    executions = [r for r in pool.records if r.task_id == task.id]
+    assert len(executions) == 1
+    assert task.completed
+
+
+def test_visibility_cap_is_two_hours():
+    """The queue service enforces the paper's 2-hour maximum, which is
+    why visibility timeouts alone could not cover the longest tasks."""
+    env = Environment()
+    with pytest.raises(ValueError):
+        _pool(env, visibility_s=7200.0).queue_client.service.receive(
+            TASK_QUEUE, visibility_timeout_s=7201.0
+        ).send(None)

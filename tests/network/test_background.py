@@ -1,0 +1,130 @@
+"""Tests for the background (cross) traffic generator."""
+
+import pytest
+
+from repro.network import BackgroundTraffic, FlowNetwork, Link
+from repro.simcore import Distribution, Environment, RandomStreams
+
+
+def _rng(seed=0):
+    return RandomStreams(seed).stream("bg")
+
+
+def test_intensity_zero_generates_nothing():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 100.0)
+    bg = BackgroundTraffic(env, net, [link], _rng(), intensity=0.0)
+    env.run(until=1000.0)
+    assert bg.flows_started == 0
+    assert net.active_count == 0
+
+
+def test_intensity_validation():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 100.0)
+    with pytest.raises(ValueError):
+        BackgroundTraffic(env, net, [link], _rng(), intensity=1.0)
+    with pytest.raises(ValueError):
+        BackgroundTraffic(env, net, [link], _rng(), intensity=-0.1)
+
+
+def test_traffic_occupies_the_link():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 100.0)
+    BackgroundTraffic(
+        env, net, [link], _rng(1), intensity=0.8, parallelism=4,
+        flow_size_mb=Distribution.constant(200.0),
+    )
+    env.run(until=500.0)
+    assert net.completed_count > 0
+
+
+def test_duty_cycle_tracks_intensity():
+    """A measured foreground flow should see roughly the residual share."""
+
+    def measure(intensity, seed=3):
+        env = Environment()
+        net = FlowNetwork(env)
+        link = Link("l", 100.0)
+        if intensity > 0:
+            BackgroundTraffic(
+                env, net, [link], _rng(seed), intensity=intensity,
+                parallelism=1,
+                flow_size_mb=Distribution.constant(100.0),
+            )
+        rates = []
+
+        def prober(env):
+            # Wait for background to establish, then probe repeatedly.
+            yield env.timeout(50.0)
+            for _ in range(30):
+                start = env.now
+                flow = net.transfer([link], 50.0)
+                yield flow.done
+                rates.append(50.0 / (env.now - start))
+                yield env.timeout(5.0)
+
+        env.process(prober(env))
+        env.run(until=5000.0)
+        return sum(rates) / len(rates)
+
+    idle = measure(0.0)
+    busy = measure(0.8)
+    assert idle == pytest.approx(100.0, rel=0.01)
+    # Against one 80%-duty background source the prober averages well
+    # below line rate but above the 50% fair share.
+    assert 50.0 <= busy <= 90.0
+
+
+def test_higher_intensity_means_more_contention():
+    def mean_rate(intensity):
+        env = Environment()
+        net = FlowNetwork(env)
+        link = Link("l", 100.0)
+        BackgroundTraffic(
+            env, net, [link], _rng(7), intensity=intensity, parallelism=2,
+            flow_size_mb=Distribution.constant(150.0),
+        )
+        rates = []
+
+        def prober(env):
+            yield env.timeout(20.0)
+            for _ in range(20):
+                start = env.now
+                flow = net.transfer([link], 30.0)
+                yield flow.done
+                rates.append(30.0 / (env.now - start))
+                yield env.timeout(3.0)
+
+        env.process(prober(env))
+        env.run(until=4000.0)
+        return sum(rates) / len(rates)
+
+    assert mean_rate(0.2) > mean_rate(0.85)
+
+
+def test_rate_cap_limits_background_share():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 100.0)
+    BackgroundTraffic(
+        env, net, [link], _rng(5), intensity=0.9, parallelism=1,
+        rate_cap_mbps=10.0,
+        flow_size_mb=Distribution.constant(1000.0),
+    )
+    rates = []
+
+    def prober(env):
+        yield env.timeout(10.0)
+        start = env.now
+        flow = net.transfer([link], 90.0)
+        yield flow.done
+        rates.append(90.0 / (env.now - start))
+
+    env.process(prober(env))
+    env.run(until=2000.0)
+    # Background capped at 10 -> the prober gets ~90 MB/s.
+    assert rates[0] == pytest.approx(90.0, rel=0.05)

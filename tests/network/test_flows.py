@@ -1,0 +1,152 @@
+"""Unit tests for the event-driven flow transfer engine."""
+
+import pytest
+
+from repro.network import FlowNetwork, Link
+from repro.simcore import Environment
+
+
+def _run_transfer(env, net, links, size, cap=None, results=None, tag=None):
+    def proc(env):
+        flow = net.transfer(links, size, cap=cap, label=tag or "t")
+        yield flow.done
+        if results is not None:
+            results.append((tag, env.now))
+
+    return env.process(proc(env))
+
+
+def test_single_flow_duration_is_size_over_capacity():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 10.0)
+    results = []
+    _run_transfer(env, net, [link], 100.0, results=results, tag="f")
+    env.run()
+    assert results == [("f", pytest.approx(10.0))]
+
+
+def test_flow_cap_binds_below_link():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 100.0)
+    results = []
+    _run_transfer(env, net, [link], 50.0, cap=5.0, results=results, tag="f")
+    env.run()
+    assert results == [("f", pytest.approx(10.0))]
+
+
+def test_two_flows_share_then_speed_up():
+    # Two equal flows on a 10 MB/s link: 100 MB each.  They share at 5
+    # until t=20 when both finish together.
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 10.0)
+    results = []
+    _run_transfer(env, net, [link], 100.0, results=results, tag="a")
+    _run_transfer(env, net, [link], 100.0, results=results, tag="b")
+    env.run()
+    assert [t for _, t in results] == [pytest.approx(20.0)] * 2
+
+
+def test_short_flow_finishes_then_long_flow_accelerates():
+    # a=30 MB, b=90 MB on a 10 MB/s link.  Share at 5 until a finishes at
+    # t=6; b then has 60 MB left at 10 MB/s -> done at t=12.
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 10.0)
+    results = []
+    _run_transfer(env, net, [link], 30.0, results=results, tag="a")
+    _run_transfer(env, net, [link], 90.0, results=results, tag="b")
+    env.run()
+    assert dict(results) == {
+        "a": pytest.approx(6.0),
+        "b": pytest.approx(12.0),
+    }
+
+
+def test_late_arrival_slows_existing_flow():
+    # a starts alone (10 MB/s); b arrives at t=4.  a: 100 MB -> 40 MB done
+    # by t=4, 60 left shared at 5 -> 12 more seconds -> t=16.
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 10.0)
+    results = []
+
+    def late(env):
+        yield env.timeout(4.0)
+        flow = net.transfer([link], 1000.0, label="b")
+        yield flow.done
+
+    _run_transfer(env, net, [link], 100.0, results=results, tag="a")
+    env.process(late(env))
+    env.run(until=50.0)
+    assert dict(results)["a"] == pytest.approx(16.0)
+
+
+def test_abort_releases_bandwidth():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 10.0)
+    results = []
+
+    def victim(env):
+        flow = net.transfer([link], 1000.0, label="victim")
+        yield env.timeout(2.0)
+        net.abort(flow)
+
+    env.process(victim(env))
+    _run_transfer(env, net, [link], 100.0, results=results, tag="survivor")
+    env.run()
+    # survivor: 2 s at 5 MB/s (10 MB) then 90 MB at 10 MB/s -> t=11.
+    assert dict(results)["survivor"] == pytest.approx(11.0)
+
+
+def test_dynamic_cap_depends_on_concurrency():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 1000.0)
+    # Front-end curve: each flow capped at 20/n.
+    net.add_cap_hook(lambda flow, n: 20.0 / n)
+    results = []
+    _run_transfer(env, net, [link], 10.0, results=results, tag="a")
+    _run_transfer(env, net, [link], 10.0, results=results, tag="b")
+    env.run()
+    # Both capped at 10 MB/s while together (until t=1.0 when both finish).
+    assert [t for _, t in results] == [pytest.approx(1.0)] * 2
+
+
+def test_transfer_validation():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 1.0)
+    with pytest.raises(ValueError):
+        net.transfer([link], 0.0)
+    with pytest.raises(ValueError):
+        net.transfer([], 5.0)
+
+
+def test_many_flows_conservation():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 7.0)
+    results = []
+    sizes = [10.0, 20.0, 5.0, 40.0, 25.0]
+    for i, size in enumerate(sizes):
+        _run_transfer(env, net, [link], size, results=results, tag=i)
+    env.run()
+    # Work conservation: the link runs at capacity until the final byte.
+    assert max(t for _, t in results) == pytest.approx(sum(sizes) / 7.0)
+    assert net.active_count == 0
+    assert net.completed_count == len(sizes)
+
+
+def test_completed_count_and_snapshot():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 10.0)
+    flow = net.transfer([link], 10.0, label="x")
+    assert "x#" in list(net.snapshot().keys())[0]
+    env.run()
+    assert flow.done.processed
+    assert net.completed_count == 1

@@ -1,0 +1,149 @@
+"""Unit tests for event primitives (Event, Timeout, AllOf/AnyOf)."""
+
+import pytest
+
+from repro.simcore import AllOf, AnyOf, Environment, Event
+
+
+def test_event_lifecycle_flags():
+    env = Environment()
+    ev = env.event()
+    assert not ev.triggered and not ev.processed
+    ev.succeed(99)
+    assert ev.triggered and not ev.processed
+    env.run()
+    assert ev.processed
+    assert ev.value == 99
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    with pytest.raises(RuntimeError):
+        env.event().value
+
+
+def test_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_callback_after_processed_runs_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("v")
+    env.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    results = {}
+
+    def proc(env):
+        t1 = env.timeout(1.0, "one")
+        t2 = env.timeout(5.0, "two")
+        got = yield env.all_of([t1, t2])
+        results["values"] = sorted(got.values())
+        results["at"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    assert results["values"] == ["one", "two"]
+    assert results["at"] == 5.0
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    results = {}
+
+    def proc(env):
+        t1 = env.timeout(1.0, "fast")
+        t2 = env.timeout(5.0, "slow")
+        got = yield env.any_of([t1, t2])
+        results["values"] = list(got.values())
+        results["at"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    assert results["values"] == ["fast"]
+    assert results["at"] == 1.0
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        got = yield env.all_of([])
+        results.append((env.now, got))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(0.0, {})]
+
+
+def test_condition_fails_if_child_fails():
+    env = Environment()
+    caught = []
+
+    def failer(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("child died")
+
+    def waiter(env):
+        p = env.process(failer(env))
+        try:
+            yield env.all_of([p, env.timeout(10.0)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    env.run()
+    assert caught == ["child died"]
+
+
+def test_condition_with_already_processed_child():
+    env = Environment()
+    ev = env.timeout(0.0, "early")
+    env.run(until=0.5)
+    assert ev.processed
+    results = []
+
+    def proc(env):
+        got = yield env.all_of([ev, env.timeout(1.0, "late")])
+        results.append(sorted(got.values()))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [["early", "late"]]
+
+
+def test_condition_rejects_foreign_events():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env2.timeout(1.0)])
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        got.append((yield env.timeout(1.0, value="hello")))
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["hello"]

@@ -1,0 +1,244 @@
+"""Unit tests for Resource, PriorityResource, Store and Container."""
+
+import pytest
+
+from repro.simcore import Container, Environment, PriorityResource, Resource, Store
+
+
+def test_resource_serializes_holders():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(env, tag):
+        with res.request() as req:
+            yield req
+            log.append((tag, "in", env.now))
+            yield env.timeout(2.0)
+        log.append((tag, "out", env.now))
+
+    env.process(user(env, "a"))
+    env.process(user(env, "b"))
+    env.run()
+    assert log == [
+        ("a", "in", 0.0), ("a", "out", 2.0),
+        ("b", "in", 2.0), ("b", "out", 4.0),
+    ]
+
+
+def test_resource_capacity_allows_parallelism():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    done = []
+
+    def user(env, tag):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+        done.append((tag, env.now))
+
+    for tag in "abc":
+        env.process(user(env, tag))
+    env.run()
+    assert done == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, tag, arrive):
+        yield env.timeout(arrive)
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1.0)
+
+    env.process(user(env, "first", 0.0))
+    env.process(user(env, "second", 0.1))
+    env.process(user(env, "third", 0.2))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_priority_resource_serves_lowest_priority_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, tag, arrive, prio):
+        yield env.timeout(arrive)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(10.0)
+
+    env.process(user(env, "holder", 0.0, 0))
+    env.process(user(env, "low-prio", 1.0, 5))
+    env.process(user(env, "high-prio", 2.0, 1))
+    env.run()
+    assert order == ["holder", "high-prio", "low-prio"]
+
+
+def test_release_without_hold_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_cancel_removes_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    hold = res.request()
+    queued = res.request()
+    env.run()
+    assert not queued.triggered
+    queued.cancel()
+    res.release(hold)
+    env.run()
+    assert not queued.triggered
+    assert res.count == 0
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_store_fifo_put_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert [g[0] for g in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer(env):
+        yield env.timeout(5.0)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [("late", 5.0)]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        log.append(("put-a", env.now))
+        yield store.put("b")
+        log.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(3.0)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert log == [("put-a", 0.0), ("got", "a", 3.0), ("put-b", 3.0)]
+
+
+def test_store_filter_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def setup(env):
+        yield store.put({"kind": "x", "id": 1})
+        yield store.put({"kind": "y", "id": 2})
+        item = yield store.get(lambda it: it["kind"] == "y")
+        got.append(item["id"])
+        item = yield store.get()
+        got.append(item["id"])
+
+    env.process(setup(env))
+    env.run()
+    assert got == [2, 1]
+
+
+def test_container_levels():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=5.0)
+    log = []
+
+    def drainer(env):
+        yield tank.get(4.0)
+        log.append(("got4", tank.level, env.now))
+        yield tank.get(4.0)  # blocks: only 1 left
+        log.append(("got4-again", tank.level, env.now))
+
+    def filler(env):
+        yield env.timeout(2.0)
+        yield tank.put(6.0)
+
+    env.process(drainer(env))
+    env.process(filler(env))
+    env.run()
+    assert log == [("got4", 1.0, 0.0), ("got4-again", 3.0, 2.0)]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=5.0, init=5.0)
+    log = []
+
+    def putter(env):
+        yield tank.put(2.0)
+        log.append(("room", env.now))
+
+    def getter(env):
+        yield env.timeout(4.0)
+        yield tank.get(3.0)
+
+    env.process(putter(env))
+    env.process(getter(env))
+    env.run()
+    assert log == [("room", 4.0)]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=1.0, init=2.0)
+    tank = Container(env, capacity=1.0)
+    with pytest.raises(ValueError):
+        tank.get(0)
+    with pytest.raises(ValueError):
+        tank.put(-1)

@@ -1,0 +1,146 @@
+"""Unit + property tests for reproducible RNG streams and distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import Distribution, RandomStreams
+
+
+def test_same_seed_same_name_identical_stream():
+    a = RandomStreams(7).stream("vm.boot")
+    b = RandomStreams(7).stream("vm.boot")
+    assert np.allclose(a.random(100), b.random(100))
+
+
+def test_different_names_independent_streams():
+    rs = RandomStreams(7)
+    a = rs.stream("one").random(100)
+    b = rs.stream("two").random(100)
+    assert not np.allclose(a, b)
+
+
+def test_stream_creation_order_does_not_matter():
+    rs1 = RandomStreams(3)
+    first = rs1.stream("alpha").random(10)
+    rs1.stream("beta")
+
+    rs2 = RandomStreams(3)
+    rs2.stream("beta")
+    second = rs2.stream("alpha").random(10)
+    assert np.allclose(first, second)
+
+
+def test_stream_is_cached():
+    rs = RandomStreams(1)
+    assert rs.stream("x") is rs.stream("x")
+
+
+def test_spawn_derives_deterministic_child():
+    a = RandomStreams(5).spawn("child").stream("s").random(10)
+    b = RandomStreams(5).spawn("child").stream("s").random(10)
+    c = RandomStreams(5).spawn("other").stream("s").random(10)
+    assert np.allclose(a, b)
+    assert not np.allclose(a, c)
+
+
+def test_constant_distribution():
+    rng = RandomStreams(0).stream("t")
+    d = Distribution.constant(4.2)
+    assert d.sample(rng) == 4.2
+    assert d.mean == 4.2
+
+
+def test_uniform_distribution_bounds_and_mean():
+    rng = RandomStreams(0).stream("t")
+    d = Distribution.uniform(2.0, 6.0)
+    xs = d.sample_n(rng, 5000)
+    assert xs.min() >= 2.0 and xs.max() <= 6.0
+    assert abs(xs.mean() - 4.0) < 0.1
+    assert d.mean == 4.0
+
+
+def test_exponential_distribution_mean():
+    rng = RandomStreams(0).stream("t")
+    d = Distribution.exponential(3.0)
+    xs = d.sample_n(rng, 20000)
+    assert abs(xs.mean() - 3.0) < 0.15
+
+
+def test_truncated_normal_respects_bounds():
+    rng = RandomStreams(0).stream("t")
+    d = Distribution.normal(10.0, 5.0, minimum=0.0)
+    xs = d.sample_n(rng, 10000)
+    assert xs.min() >= 0.0
+    assert abs(xs.mean() - 10.0) < 1.0  # mild truncation barely shifts mean
+
+
+def test_lognormal_matches_requested_mean_std():
+    rng = RandomStreams(0).stream("t")
+    d = Distribution.lognormal_from_mean_std(100.0, 30.0)
+    xs = d.sample_n(rng, 100000)
+    assert abs(xs.mean() - 100.0) / 100.0 < 0.02
+    assert abs(xs.std() - 30.0) / 30.0 < 0.1
+    assert (xs > 0).all()
+    assert abs(d.mean - 100.0) < 1e-9
+
+
+def test_pareto_minimum_and_tail():
+    rng = RandomStreams(0).stream("t")
+    d = Distribution.pareto(minimum=2.0, alpha=1.5)
+    xs = d.sample_n(rng, 20000)
+    assert xs.min() >= 2.0
+    assert xs.max() > 10 * xs.min()  # heavy tail present
+    assert abs(d.mean - 6.0) < 1e-9  # alpha*min/(alpha-1)
+
+
+def test_empirical_distribution_weights():
+    rng = RandomStreams(0).stream("t")
+    d = Distribution.empirical([1.0, 2.0], weights=[3.0, 1.0])
+    xs = d.sample_n(rng, 20000)
+    assert set(np.unique(xs)) == {1.0, 2.0}
+    assert abs((xs == 1.0).mean() - 0.75) < 0.02
+    assert abs(d.mean - 1.25) < 1e-9
+
+
+def test_distribution_validation():
+    with pytest.raises(ValueError):
+        Distribution.uniform(5.0, 1.0)
+    with pytest.raises(ValueError):
+        Distribution.exponential(0.0)
+    with pytest.raises(ValueError):
+        Distribution.normal(0.0, -1.0)
+    with pytest.raises(ValueError):
+        Distribution.lognormal_from_mean_std(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        Distribution.pareto(0.0, 1.0)
+    with pytest.raises(ValueError):
+        Distribution.empirical([])
+    with pytest.raises(ValueError):
+        Distribution.empirical([1.0], weights=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        Distribution("nonsense")
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_property_streams_reproducible_for_any_seed(seed):
+    a = RandomStreams(seed).stream("s").random(5)
+    b = RandomStreams(seed).stream("s").random(5)
+    assert np.array_equal(a, b)
+
+
+@given(
+    mean=st.floats(min_value=0.1, max_value=1e4),
+    std=st.floats(min_value=0.01, max_value=1e3),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_lognormal_always_positive(mean, std):
+    rng = RandomStreams(1).stream("p")
+    d = Distribution.lognormal_from_mean_std(mean, std)
+    xs = d.sample_n(rng, 100)
+    assert (xs > 0).all()
+    assert math.isfinite(d.mean)

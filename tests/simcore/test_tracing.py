@@ -1,0 +1,95 @@
+"""Unit tests for tallies, time series, traces and histogram helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import Tally, TimeSeries, TraceRecorder, cdf_points, histogram
+
+
+def test_tally_summary_statistics():
+    t = Tally("lat")
+    t.extend([1.0, 2.0, 3.0, 4.0])
+    assert t.count == 4
+    assert t.mean == 2.5
+    assert abs(t.std - np.std([1, 2, 3, 4])) < 1e-12
+    assert t.minimum == 1.0
+    assert t.maximum == 4.0
+    assert t.total == 10.0
+    assert t.percentile(50) == 2.5
+
+
+def test_tally_fraction_below():
+    t = Tally()
+    t.extend([1, 1, 2, 3])
+    assert t.fraction_below(1) == 0.5
+    assert t.fraction_below(2) == 0.75
+    assert t.fraction_below(0) == 0.0
+
+
+def test_empty_tally_raises():
+    t = Tally("empty")
+    with pytest.raises(ValueError):
+        t.mean
+    with pytest.raises(ValueError):
+        t.std
+    with pytest.raises(ValueError):
+        t.percentile(50)
+    with pytest.raises(ValueError):
+        t.fraction_below(1.0)
+    assert len(t) == 0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_property_tally_matches_numpy(xs):
+    t = Tally()
+    t.extend(xs)
+    assert abs(t.mean - np.mean(xs)) < 1e-6 * max(1.0, abs(np.mean(xs)))
+    assert abs(t.std - np.std(xs)) < 1e-6 * max(1.0, np.std(xs))
+    assert t.minimum == min(xs)
+    assert t.maximum == max(xs)
+
+
+def test_timeseries_records_in_order():
+    ts = TimeSeries("daily")
+    ts.record(0.0, 1.0)
+    ts.record(1.0, 2.0)
+    assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+    assert len(ts) == 2
+    with pytest.raises(ValueError):
+        ts.record(0.5, 9.9)
+
+
+def test_trace_recorder_filtering():
+    tr = TraceRecorder()
+    tr.record(0.0, "task_start", task="t1")
+    tr.record(1.0, "task_end", task="t1", status="ok")
+    tr.record(2.0, "task_start", task="t2")
+    assert len(tr) == 3
+    assert [e.data["task"] for e in tr.of_kind("task_start")] == ["t1", "t2"]
+    assert tr.kinds() == {"task_start": 2, "task_end": 1}
+
+
+def test_trace_recorder_disabled_records_nothing():
+    tr = TraceRecorder(enabled=False)
+    tr.record(0.0, "x")
+    assert len(tr) == 0
+
+
+def test_histogram_fixed_edges():
+    counts, edges = histogram([0.5, 1.5, 1.6, 2.5], [0, 1, 2, 3])
+    assert list(counts) == [1, 2, 1]
+    assert list(edges) == [0, 1, 2, 3]
+
+
+def test_cdf_points_monotone():
+    values, fracs = cdf_points([3.0, 1.0, 2.0])
+    assert list(values) == [1.0, 2.0, 3.0]
+    assert list(fracs) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_cdf_points_empty():
+    values, fracs = cdf_points([])
+    assert values.size == 0 and fracs.size == 0

@@ -1,0 +1,89 @@
+"""Tests for Entity Group Transactions (batch inserts)."""
+
+import pytest
+
+from repro.simcore import Environment, RandomStreams
+from repro.storage import EntityAlreadyExistsError, TableService
+from repro.storage.table import make_entity
+
+
+def _svc(env, seed=0):
+    svc = TableService(env, RandomStreams(seed).stream("table"))
+    svc.create_table("t")
+    return svc
+
+
+def _run(env, gen):
+    box = {}
+
+    def proc(env):
+        try:
+            box["result"] = yield from gen
+        except Exception as exc:  # noqa: BLE001 - test harness
+            box["error"] = exc
+
+    env.process(proc(env))
+    env.run()
+    return box.get("result"), box.get("error")
+
+
+def test_batch_insert_atomic_success():
+    env = Environment()
+    svc = _svc(env)
+    batch = [make_entity("p", f"r{i}") for i in range(10)]
+    result, err = _run(env, svc.insert_batch("t", batch))
+    assert err is None
+    assert len(result) == 10
+    assert svc.entity_count("t") == 10
+
+
+def test_batch_insert_conflict_aborts_everything():
+    env = Environment()
+    svc = _svc(env)
+    _run(env, svc.insert("t", make_entity("p", "r5")))
+    batch = [make_entity("p", f"r{i}") for i in range(10)]
+    _, err = _run(env, svc.insert_batch("t", batch))
+    assert isinstance(err, EntityAlreadyExistsError)
+    # Atomicity: nothing from the batch was written.
+    assert svc.entity_count("t") == 1
+
+
+def test_batch_validation():
+    env = Environment()
+    svc = _svc(env)
+    with pytest.raises(ValueError):
+        next(svc.insert_batch("t", []))
+    with pytest.raises(ValueError):
+        next(svc.insert_batch(
+            "t", [make_entity("p", f"r{i}") for i in range(101)]
+        ))
+    with pytest.raises(ValueError):
+        next(svc.insert_batch(
+            "t", [make_entity("p1", "r"), make_entity("p2", "r")]
+        ))
+    with pytest.raises(ValueError):
+        next(svc.insert_batch(
+            "t", [make_entity("p", "r"), make_entity("p", "r")]
+        ))
+
+
+def test_batch_much_cheaper_than_singletons():
+    env = Environment()
+    svc = _svc(env)
+    t0 = env.now
+    _run(env, svc.insert_batch(
+        "t", [make_entity("p", f"batch-{i}") for i in range(50)]
+    ))
+    batch_time = env.now - t0
+
+    env2 = Environment()
+    svc2 = _svc(env2, seed=1)
+
+    def singles(env):
+        for i in range(50):
+            yield from svc2.insert("t", make_entity("p", f"one-{i}"))
+
+    t0 = env2.now
+    _run(env2, singles(env2))
+    singles_time = env2.now - t0
+    assert batch_time < singles_time / 5

@@ -1,0 +1,86 @@
+"""Tests for the 2009/2010 Azure cost model."""
+
+import pytest
+
+from repro import costs
+from repro.modis import ModisAzureApp, ModisConfig
+
+
+def test_paper_anchor_gb_month_vs_vm_hour():
+    """Section 5.1: storing 1 GB for a month costs about the same as
+    running a small VM for an hour."""
+    assert costs.gb_month_vs_vm_hour() == pytest.approx(1.0, abs=0.35)
+
+
+def test_vm_hours_cost_scales_with_size():
+    small = costs.vm_hours_cost(10.0, "small")
+    xl = costs.vm_hours_cost(10.0, "extralarge")
+    assert xl == pytest.approx(8 * small)
+    assert small == pytest.approx(1.2)
+
+
+def test_vm_hours_validation():
+    with pytest.raises(ValueError):
+        costs.vm_hours_cost(-1.0)
+    with pytest.raises(ValueError):
+        costs.vm_hours_cost(1.0, "gargantuan")
+
+
+def test_storage_and_transaction_costs():
+    assert costs.storage_cost(10.0, 2.0) == pytest.approx(3.0)
+    assert costs.transaction_cost(1_000_000) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        costs.storage_cost(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        costs.transaction_cost(-5)
+
+
+def test_reuse_breakeven_matches_paper_rule():
+    """A product that takes >= 1 VM-hour per GB to recompute is worth
+    storing for a month (Section 5.1)."""
+    advice = costs.reuse_breakeven(product_gb=1.0, recompute_vm_hours=1.0)
+    assert advice.store_if_reused_within_month
+    assert advice.breakeven_months == pytest.approx(0.8, abs=0.4)
+
+    # Cheap-to-recompute products should NOT be stored for long.
+    cheap = costs.reuse_breakeven(product_gb=10.0, recompute_vm_hours=0.1)
+    assert not cheap.store_if_reused_within_month
+
+
+def test_reuse_breakeven_validation():
+    with pytest.raises(ValueError):
+        costs.reuse_breakeven(0.0, 1.0)
+    with pytest.raises(ValueError):
+        costs.reuse_breakeven(1.0, -1.0)
+
+
+def test_cost_breakdown_total_and_str():
+    breakdown = costs.CostBreakdown(
+        compute=10.0, storage=2.0, transactions=0.5, bandwidth=1.5
+    )
+    assert breakdown.total == pytest.approx(14.0)
+    assert "$14.00" in str(breakdown)
+
+
+def test_campaign_cost_magnitudes():
+    result = ModisAzureApp(ModisConfig(
+        seed=2, target_executions=8000, campaign_days=30,
+    )).run()
+    breakdown = costs.campaign_cost(result, fleet_size=200)
+    # 200 small VMs x 30 days x $0.12 ~= $17k of compute.
+    assert breakdown.compute == pytest.approx(
+        200 * 30 * 24 * 0.12, rel=0.01
+    )
+    assert breakdown.compute > breakdown.storage > 0
+    assert breakdown.transactions > 0
+    assert breakdown.total > breakdown.compute
+
+
+def test_wasted_compute_cost_nonnegative():
+    result = ModisAzureApp(ModisConfig(
+        seed=5, target_executions=8000, campaign_days=60,
+    )).run()
+    wasted = costs.wasted_compute_cost(result)
+    assert wasted >= 0.0
+    breakdown = costs.campaign_cost(result)
+    assert wasted < breakdown.compute  # sanity: waste is a small slice

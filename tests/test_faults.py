@@ -1,0 +1,154 @@
+"""Tests for the fault-injection framework."""
+
+import pytest
+
+from repro.client import QueueClient, TableClient
+from repro.client.retry import NO_RETRY, RetryPolicy
+from repro.faults import FaultInjector, FaultWindow
+from repro.simcore import Environment, RandomStreams
+from repro.storage import TableService
+from repro.storage.errors import ConnectionFailureError, ServerBusyError
+from repro.storage.table import make_entity
+
+
+def _setup(seed=0):
+    env = Environment()
+    streams = RandomStreams(seed)
+    svc = TableService(env, streams.stream("t"))
+    svc.create_table("t")
+    injector = FaultInjector(env, streams.stream("faults"))
+    injector.attach(svc.server_for("t", "p"))
+    return env, svc, injector
+
+
+def _run(env, gen):
+    box = {}
+
+    def proc(env):
+        try:
+            box["result"] = yield from gen
+        except Exception as exc:  # noqa: BLE001 - test harness
+            box["error"] = exc
+
+    env.process(proc(env))
+    env.run()
+    return box.get("result"), box.get("error")
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        FaultWindow(0.0, 10.0, "meteor_strike")
+    with pytest.raises(ValueError):
+        FaultWindow(0.0, 0.0, "blackout")
+    with pytest.raises(ValueError):
+        FaultWindow(0.0, 1.0, "server_busy_storm", magnitude=1.5)
+    with pytest.raises(ValueError):
+        FaultWindow(0.0, 1.0, "latency_spike", magnitude=0.0)
+
+
+def test_window_coverage():
+    w = FaultWindow(10.0, 5.0, "blackout")
+    assert not w.covers(9.9)
+    assert w.covers(10.0)
+    assert w.covers(14.9)
+    assert not w.covers(15.0)
+
+
+def test_no_faults_outside_windows():
+    env, svc, injector = _setup()
+    injector.add_window(1000.0, 10.0, "blackout")
+    client = TableClient(svc, retry=NO_RETRY)
+    _, err = _run(env, client.insert("t", make_entity("p", "r")))
+    assert err is None
+    assert injector.stats.blackout_failures == 0
+
+
+def test_blackout_fails_everything():
+    env, svc, injector = _setup()
+    injector.add_window(0.0, 1e9, "blackout")
+    client = TableClient(svc, retry=NO_RETRY)
+    _, err = _run(env, client.insert("t", make_entity("p", "r")))
+    assert isinstance(err, ConnectionFailureError)
+    assert injector.stats.blackout_failures >= 1
+
+
+def test_storm_rejections_absorbed_by_retries():
+    env, svc, injector = _setup()
+    injector.add_window(0.0, 1e9, "server_busy_storm", magnitude=0.4)
+    client = TableClient(svc, retry=RetryPolicy(max_retries=8))
+    errors = 0
+    for i in range(30):
+        _, err = _run(env, client.insert("t", make_entity("p", f"r{i}")))
+        if err is not None:
+            errors += 1
+    # A 40% storm with 8 retries: essentially every op lands.
+    assert errors == 0
+    assert injector.stats.rejections > 0
+    assert svc.entity_count("t") == 30
+
+
+def test_storm_without_retries_surfaces_server_busy():
+    env, svc, injector = _setup(seed=2)
+    injector.add_window(0.0, 1e9, "server_busy_storm", magnitude=0.9)
+    client = TableClient(svc, retry=NO_RETRY)
+    failures = 0
+    for i in range(20):
+        _, err = _run(env, client.insert("t", make_entity("p", f"r{i}")))
+        if isinstance(err, ServerBusyError):
+            failures += 1
+    assert failures >= 12  # ~90% of ops rejected
+
+
+def test_latency_spike_stretches_operations():
+    env, svc, injector = _setup()
+    client = TableClient(svc, retry=NO_RETRY)
+    t0 = env.now
+    _run(env, client.query("t", "p", "nope"))  # miss; latency still paid
+    baseline = env.now - t0
+
+    injector.add_window(env.now, 1e9, "latency_spike", magnitude=2.0)
+    t0 = env.now
+    _run(env, client.query("t", "p", "nope"))
+    spiked = env.now - t0
+    assert injector.stats.delays_applied == 1
+    assert injector.stats.extra_delay_s > 0
+    # The measured stretch is the injected delay (modulo base jitter).
+    extra = spiked - baseline
+    assert extra == pytest.approx(
+        injector.stats.extra_delay_s, abs=0.1 + baseline
+    )
+
+
+def test_double_attach_rejected():
+    env, svc, injector = _setup()
+    other = FaultInjector(env, RandomStreams(1).stream("f2"))
+    with pytest.raises(ValueError):
+        other.attach(svc.server_for("t", "p"))
+
+
+def test_queue_drill_end_to_end():
+    """A 503 storm on the queue: consumers retry and drain everything."""
+    env = Environment()
+    streams = RandomStreams(5)
+    from repro.storage import QueueService
+
+    qsvc = QueueService(env, streams.stream("q"))
+    qsvc.create_queue("q")
+    injector = FaultInjector(env, streams.stream("faults"))
+    injector.attach(qsvc.server_for("q"))
+    injector.add_window(0.0, 30.0, "server_busy_storm", magnitude=0.5)
+    client = QueueClient(qsvc, retry=RetryPolicy(max_retries=10))
+    drained = []
+
+    def scenario(env):
+        for i in range(10):
+            yield from client.add("q", i)
+        for _ in range(10):
+            msg = yield from client.receive("q")
+            yield from client.delete("q", msg, msg.pop_receipt)
+            drained.append(msg.payload)
+
+    env.process(scenario(env))
+    env.run()
+    assert sorted(drained) == list(range(10))
+    assert injector.stats.rejections > 0

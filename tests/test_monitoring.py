@@ -1,0 +1,173 @@
+"""Tests for the monitoring module and its integration points."""
+
+import pytest
+
+from repro.monitoring import Counter, MetricsRegistry, Sampler, render_dashboard
+from repro.simcore import Environment
+
+
+def test_counter_increments_only():
+    c = Counter("x")
+    c.increment()
+    c.increment(4.0)
+    assert c.value == 5.0
+    with pytest.raises(ValueError):
+        c.increment(-1.0)
+
+
+def test_registry_counters_are_singletons():
+    reg = MetricsRegistry()
+    reg.counter("ops").increment()
+    reg.counter("ops").increment()
+    assert reg.counter("ops").value == 2.0
+
+
+def test_gauges_read_live_values():
+    reg = MetricsRegistry()
+    state = {"depth": 3}
+    reg.register_gauge("queue.depth", lambda: state["depth"])
+    assert reg.read_gauge("queue.depth") == 3.0
+    state["depth"] = 9
+    assert reg.read_gauge("queue.depth") == 9.0
+    with pytest.raises(ValueError):
+        reg.register_gauge("queue.depth", lambda: 0)
+    with pytest.raises(KeyError):
+        reg.read_gauge("ghost")
+
+
+def test_tally_percentiles_in_snapshot():
+    reg = MetricsRegistry()
+    for v in (0.1, 0.2, 0.3):
+        reg.tally("lat").observe(v)
+    snap = reg.snapshot()
+    assert snap["latency_p50:lat"] == pytest.approx(0.2)
+    assert "latency_p95:lat" in snap
+
+
+def test_sampler_records_series():
+    env = Environment()
+    reg = MetricsRegistry()
+    state = {"v": 0.0}
+    reg.register_gauge("load", lambda: state["v"])
+    sampler = Sampler(env, reg, interval_s=10.0)
+    sampler.start()
+
+    def ramp(env):
+        for i in range(5):
+            state["v"] = float(i)
+            yield env.timeout(10.0)
+
+    env.process(ramp(env))
+    # The sampler ticks before the ramp at shared timestamps (it was
+    # started first), so sample k sees the value set at tick k-1; run
+    # one interval past the last ramp step to observe its final value.
+    env.run(until=55.0)
+    series = sampler.series["load"]
+    assert len(series) == 6
+    assert sampler.peak("load") == 4.0
+    with pytest.raises(KeyError):
+        sampler.peak("ghost")
+
+
+def test_sampler_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Sampler(env, MetricsRegistry(), interval_s=0.0)
+
+
+def test_render_dashboard():
+    env = Environment()
+    reg = MetricsRegistry()
+    reg.counter("requests").increment(42)
+    reg.register_gauge("active", lambda: 7)
+    sampler = Sampler(env, reg, interval_s=1.0)
+    sampler.start()
+    env.run(until=3.0)
+    out = render_dashboard(reg, title="ops", sampler=sampler)
+    assert "ops" in out
+    assert "counter:requests" in out and "42" in out
+    assert "gauge:active" in out
+    assert "peak:active" in out
+
+
+def test_render_dashboard_empty():
+    out = render_dashboard(MetricsRegistry())
+    assert "(no metrics)" in out
+
+
+def test_monitoring_a_live_platform():
+    """Wire gauges onto real simulated services."""
+    from repro.client import QueueClient
+    from repro.simcore import RandomStreams
+    from repro.storage import QueueService
+
+    env = Environment()
+    svc = QueueService(env, RandomStreams(0).stream("q"))
+    svc.create_queue("work")
+    reg = MetricsRegistry()
+    reg.register_gauge("queue.depth", lambda: svc.queue_length("work"))
+    reg.register_gauge(
+        "server.active", lambda: svc.server_for("work").active_requests
+    )
+    sampler = Sampler(env, reg, interval_s=0.5)
+    sampler.start()
+    client = QueueClient(svc)
+
+    def producer(env):
+        for i in range(20):
+            yield from client.add("work", i)
+            reg.counter("produced").increment()
+        yield env.timeout(5.0)
+        for _ in range(20):
+            msg = yield from client.receive("work")
+            yield from client.delete("work", msg, msg.pop_receipt)
+
+    env.process(producer(env))
+    env.run(until=30.0)
+    assert reg.counter("produced").value == 20
+    assert sampler.peak("queue.depth") == 20.0
+    assert svc.queue_length("work") == 0
+
+
+def test_attach_partition_server_gauges():
+    from repro.monitoring import attach_partition_server
+    from repro.simcore import RandomStreams
+    from repro.storage import PartitionServer
+
+    env = Environment()
+    server = PartitionServer(
+        env, RandomStreams(0).stream("p"), name="tables/t/p"
+    )
+    reg = MetricsRegistry()
+    attach_partition_server(reg, server)
+    assert reg.read_gauge("tables/t/p.active") == 0
+    assert reg.read_gauge("tables/t/p.inflight_mb") == 0.0
+    assert reg.read_gauge("tables/t/p.cpu_queue") == 0
+
+
+def test_attach_worker_pool_gauges():
+    from repro.client import QueueClient
+    from repro.modis import FailureModel
+    from repro.modis.worker import TASK_QUEUE, WorkerPool
+    from repro.monitoring import attach_worker_pool
+    from repro.simcore import RandomStreams
+    from repro.storage import QueueService
+
+    env = Environment()
+    streams = RandomStreams(0)
+    qsvc = QueueService(env, streams.stream("q"))
+    qsvc.create_queue(TASK_QUEUE)
+    pool = WorkerPool(
+        env=env,
+        queue_client=QueueClient(qsvc),
+        monitor=None,
+        failure_model=FailureModel(streams.stream("f")),
+        rng=streams.stream("j"),
+        n_workers=4,
+    )
+    reg = MetricsRegistry()
+    attach_worker_pool(reg, pool)
+    assert reg.read_gauge("pool.outstanding") == 0
+    pool.workers[0].slowdown = 6.0
+    assert reg.read_gauge("pool.degraded_workers") == 1
+    assert reg.read_gauge("pool.completed") == 0

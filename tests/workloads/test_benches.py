@@ -1,0 +1,108 @@
+"""Integration tests for the workload drivers at reduced scale."""
+
+import pytest
+
+from repro.workloads import (
+    build_platform,
+    run_blob_test,
+    run_queue_test,
+    run_table_test,
+    run_tcp_test,
+    run_vm_campaign,
+)
+
+
+def test_platform_builder_validation():
+    with pytest.raises(ValueError):
+        build_platform(n_clients=10_000, racks=2, hosts_per_rack=2)
+
+
+def test_platform_deterministic_per_seed():
+    a = build_platform(seed=5)
+    b = build_platform(seed=5)
+    assert a.streams.stream("x").random() == b.streams.stream("x").random()
+
+
+def test_blob_bench_validation():
+    with pytest.raises(ValueError):
+        run_blob_test("sideways", 1)
+    with pytest.raises(ValueError):
+        run_blob_test("download", 0)
+
+
+def test_blob_download_shape_small():
+    one = run_blob_test("download", 1, size_mb=100.0, seed=1)
+    many = run_blob_test("download", 32, size_mb=100.0, seed=2)
+    assert one.mean_client_mbps == pytest.approx(13.0, rel=0.1)
+    assert many.mean_client_mbps < one.mean_client_mbps * 0.65
+    assert many.aggregate_mbps > one.aggregate_mbps * 10
+
+
+def test_blob_upload_slower_than_download():
+    down = run_blob_test("download", 4, size_mb=50.0, seed=3)
+    up = run_blob_test("upload", 4, size_mb=50.0, seed=3)
+    assert up.mean_client_mbps < down.mean_client_mbps * 0.7
+
+
+def test_table_bench_runs_all_phases():
+    ops = {"insert": 20, "query": 20, "update": 10, "delete": 20}
+    result = run_table_test(4, entity_kb=1.0, ops_per_client=ops, seed=4)
+    for phase, expected in ops.items():
+        outcomes = result.phases[phase]
+        assert len(outcomes) == 4
+        assert all(o.ops_completed == expected for o in outcomes)
+        assert result.mean_client_ops(phase) > 0
+        assert result.failed_clients(phase) == 0
+
+
+def test_table_bench_update_contention():
+    ops = {"insert": 5, "query": 5, "update": 30, "delete": 5}
+    solo = run_table_test(1, ops_per_client=ops, seed=5)
+    crowd = run_table_test(32, ops_per_client=ops, seed=6)
+    assert crowd.mean_client_ops("update") < solo.mean_client_ops("update") * 0.4
+
+
+def test_table_bench_validation():
+    with pytest.raises(ValueError):
+        run_table_test(0)
+
+
+def test_queue_bench_runs_each_operation():
+    for op in ("add", "peek", "receive"):
+        result = run_queue_test(op, 4, ops_per_client=15, seed=7)
+        assert len(result.outcomes) == 4
+        assert result.mean_client_ops > 5
+        assert all(o.error is None for o in result.outcomes)
+
+
+def test_queue_bench_validation():
+    with pytest.raises(ValueError):
+        run_queue_test("steal", 4)
+    with pytest.raises(ValueError):
+        run_queue_test("add", 0)
+
+
+def test_vm_campaign_collects_requested_runs():
+    campaign = run_vm_campaign(runs=30, seed=8)
+    assert len(campaign.records) == 30
+    assert campaign.total_attempts >= 30
+    roles = {r.role for r in campaign.records}
+    sizes = {r.size for r in campaign.records}
+    assert roles == {"worker", "web"}
+    assert len(sizes) >= 3
+
+
+def test_vm_campaign_validation():
+    with pytest.raises(ValueError):
+        run_vm_campaign(runs=0)
+
+
+def test_tcp_bench_collects_samples():
+    result = run_tcp_test(
+        latency_samples=200, bandwidth_samples=20, transfer_mb=500.0, seed=9
+    )
+    assert len(result.latency_s) >= 200
+    assert len(result.bandwidth_mbps) >= 20
+    assert result.total_pairs == 10
+    assert all(0 < bw <= 126 for bw in result.bandwidth_mbps)
+    assert all(0 < lat < 0.5 for lat in result.latency_s)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot paths (the optimization-workflow loop).
+
+Runs a representative slice of the heaviest experiment (the table
+benchmark at high concurrency) under cProfile and prints the top
+functions by cumulative time.  Use this before attempting any kernel
+optimization: the bottleneck is usually not where you think.
+
+Usage:  python tools/profile_simulator.py [--top 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+
+def workload() -> None:
+    from repro.workloads.table_bench import run_table_test
+
+    run_table_test(
+        64,
+        entity_kb=4.0,
+        ops_per_client={"insert": 50, "query": 50, "update": 20,
+                        "delete": 50},
+        seed=1,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--top", type=int, default=20)
+    args = parser.parse_args()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    stats.print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
