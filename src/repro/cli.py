@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig1 [--scale 0.3] [--seed 7]
     python -m repro run all  [--scale 0.2]
     python -m repro calibration
+    python -m repro drill storm [--scale 0.5] [--seed 3] [--json out.json]
+    python -m repro drill spike
 """
 
 from __future__ import annotations
@@ -74,6 +76,62 @@ def _jsonable(value):
     return str(value)
 
 
+def _cmd_drill(args: argparse.Namespace) -> int:
+    from repro.resilience.drills import (
+        DRILL_SCENARIOS,
+        run_drill,
+        run_hedge_drill,
+    )
+
+    exported = {}
+    scenarios = (
+        sorted(DRILL_SCENARIOS) + ["spike"]
+        if args.scenario == "all"
+        else [args.scenario]
+    )
+    for scenario in scenarios:
+        if scenario == "spike":
+            hedge_report = run_hedge_drill(seed=args.seed)
+            print(hedge_report.render())
+            print()
+            exported[scenario] = {
+                "unhedged_p99_ms": hedge_report.unhedged_p99_ms,
+                "hedged_p99_ms": hedge_report.hedged_p99_ms,
+                "p99_speedup": hedge_report.p99_speedup,
+                "duplicate_fraction": hedge_report.duplicate_fraction,
+            }
+            continue
+        spec = DRILL_SCENARIOS[scenario](seed=args.seed, scale=args.scale)
+        report = run_drill(spec)
+        print(report.render())
+        print()
+        exported[scenario] = {
+            "passed": report.passed,
+            "policies": {
+                r.policy: {
+                    "availability": r.availability,
+                    "p50_ms": r.p50_ms,
+                    "p99_ms": r.p99_ms,
+                    "goodput_ops_s": r.goodput_ops_s,
+                    "amplification": r.amplification,
+                    "window_amplification": r.window_amplification,
+                    "shed_retries": r.shed_retries,
+                    "fast_failures": r.fast_failures,
+                    "breaker_states": r.breaker_states,
+                    "slo_pass": r.slo_pass,
+                }
+                for r in report.results
+            },
+        }
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(exported, fh, indent=2, sort_keys=True)
+        print(f"wrote machine-readable results to {args.json}")
+    return 0
+
+
 def _cmd_calibration(_args: argparse.Namespace) -> int:
     from repro.calibration import CalibrationSummary
 
@@ -115,6 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write machine-readable results to this JSON file",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_drill = sub.add_parser(
+        "drill",
+        help="replay a chaos drill against the resilience policy matrix",
+    )
+    p_drill.add_argument(
+        "scenario",
+        choices=["storm", "crash", "burst", "spike", "all"],
+        help=(
+            "storm = 503 storm vs retry policies; crash = server "
+            "crash/restart; burst = HTTP-500 burst; spike = hedged vs "
+            "unhedged blob reads under a latency spike"
+        ),
+    )
+    p_drill.add_argument(
+        "--scale", type=float, default=1.0,
+        help="time scale for the drill schedule (ignored by 'spike')",
+    )
+    p_drill.add_argument("--seed", type=int, default=3)
+    p_drill.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write machine-readable verdicts to this JSON file",
+    )
+    p_drill.set_defaults(func=_cmd_drill)
 
     p_cal = sub.add_parser(
         "calibration", help="print the paper-anchored constants"

@@ -1,4 +1,20 @@
-"""Shared client plumbing: timeout racing and the retry loop."""
+"""Shared client plumbing: timeout racing and the retry loop.
+
+``with_retries`` is the standard call path every typed client funnels
+through.  Beyond the seed's timeout-race + bounded-retry it now
+consults the optional resilience hooks from :mod:`repro.resilience`:
+
+* a **retry budget** (token bucket) is charged before every backoff
+  sleep — when the group's budget is exhausted the retry is *shed* and
+  the original error surfaces immediately, so storms are not amplified;
+* a **circuit breaker** gates every attempt — an open breaker fails
+  fast with :class:`~repro.resilience.breaker.CircuitOpenError` before
+  any server work happens, and every attempt's outcome feeds the
+  breaker's rolling error window.
+
+Both hooks are duck-typed here (no import of :mod:`repro.resilience`)
+so the client package and the resilience package stay cycle-free.
+"""
 
 from __future__ import annotations
 
@@ -54,22 +70,44 @@ def with_retries(
     timeout_s: Optional[float],
     description: str = "operation",
     on_retry: Optional[Callable[[BaseException, int], None]] = None,
+    budget: Optional[Any] = None,
+    breaker: Optional[Any] = None,
 ) -> Generator:
-    """The standard client call path: timeout racing plus bounded retry."""
+    """The standard client call path: timeout racing plus bounded retry.
+
+    ``budget`` (a :class:`~repro.resilience.budget.RetryBudget`) and
+    ``breaker`` (a :class:`~repro.resilience.breaker.CircuitBreaker`)
+    are optional; when absent the behaviour is the seed's.
+
+    Only ``Exception`` is caught for retry classification: kernel
+    control-flow exceptions (``GeneratorExit``, ``KeyboardInterrupt``)
+    must never be retried, whatever the policy says.
+    """
+    if budget is not None:
+        budget.record_call()
     attempt = 0
     while True:
+        if breaker is not None:
+            breaker.guard(description)
         try:
             result = yield from race_timeout(
                 env, make_operation(), timeout_s, description
             )
-            return result
-        except BaseException as error:  # noqa: BLE001 - classified below
+        except Exception as error:
+            if breaker is not None:
+                breaker.on_failure(error)
             if not policy.should_retry(error, attempt):
                 raise
+            if budget is not None and not budget.try_spend():
+                raise  # retry shed: the group's budget is exhausted
             if on_retry is not None:
                 on_retry(error, attempt)
             yield env.timeout(policy.backoff(attempt))
             attempt += 1
+        else:
+            if breaker is not None:
+                breaker.on_success()
+            return result
 
 
 class OperationOutcome:
@@ -108,6 +146,8 @@ def measured_call(
     policy: RetryPolicy,
     timeout_s: Optional[float],
     description: str = "operation",
+    budget: Optional[Any] = None,
+    breaker: Optional[Any] = None,
 ) -> Generator:
     """Run a client call and return (result_or_None, OperationOutcome)."""
     start = env.now
@@ -118,7 +158,8 @@ def measured_call(
 
     try:
         result = yield from with_retries(
-            env, make_operation, policy, timeout_s, description, count_retry
+            env, make_operation, policy, timeout_s, description, count_retry,
+            budget=budget, breaker=breaker,
         )
     except Exception as error:  # noqa: BLE001 - recorded, not swallowed
         return None, OperationOutcome(start, env.now, error, retries["n"])

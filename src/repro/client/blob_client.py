@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 from repro.client.base import measured_call, with_retries
 from repro.client.retry import RetryPolicy
+from repro.resilience.hedging import HedgePolicy, hedged_call
 from repro.storage.blob import BlobService, NetworkEndpoint
 
 
@@ -15,6 +16,14 @@ class BlobClient:
     Large transfers are not raced against a client timeout (the real SDK
     streamed them with per-chunk timeouts, so a slow-but-moving transfer
     never tripped it); transport-level failures still retry.
+
+    Optional resilience hooks (see :mod:`repro.resilience`):
+
+    * ``budget``  — shared retry budget consulted before every retry;
+    * ``breaker`` — circuit breaker gating every attempt;
+    * ``hedge``   — hedging policy for the idempotent read path
+      (:meth:`download` / :meth:`download_measured` only; writes and
+      deletes are never hedged).
     """
 
     def __init__(
@@ -22,11 +31,28 @@ class BlobClient:
         service: BlobService,
         endpoint: NetworkEndpoint,
         retry: Optional[RetryPolicy] = None,
+        budget: Optional[Any] = None,
+        breaker: Optional[Any] = None,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         self.service = service
         self.env = service.env
         self.endpoint = endpoint
         self.retry = retry if retry is not None else RetryPolicy()
+        self.budget = budget
+        self.breaker = breaker
+        self.hedge = hedge
+
+    def _download_op(self, container: str, name: str, corrupt_probability: float):
+        """The (possibly hedged) Get attempt factory."""
+        def make():
+            return self.service.download(
+                self.endpoint, container, name, corrupt_probability
+            )
+
+        if self.hedge is None:
+            return make
+        return lambda: hedged_call(self.env, make, self.hedge, "blob.download")
 
     # -- raising API ---------------------------------------------------------
     def upload(
@@ -42,6 +68,7 @@ class BlobClient:
                 self.endpoint, container, name, size_mb, overwrite
             ),
             self.retry, None, "blob.upload",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -50,10 +77,9 @@ class BlobClient:
     ) -> Generator:
         result = yield from with_retries(
             self.env,
-            lambda: self.service.download(
-                self.endpoint, container, name, corrupt_probability
-            ),
+            self._download_op(container, name, corrupt_probability),
             self.retry, None, "blob.download",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -65,6 +91,7 @@ class BlobClient:
             self.env,
             lambda: self.service.delete_blob(container, name),
             self.retry, None, "blob.delete",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -82,6 +109,7 @@ class BlobClient:
                 self.endpoint, container, name, size_mb, overwrite
             ),
             self.retry, None, "blob.upload",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -90,9 +118,8 @@ class BlobClient:
     ) -> Generator:
         result = yield from measured_call(
             self.env,
-            lambda: self.service.download(
-                self.endpoint, container, name, corrupt_probability
-            ),
+            self._download_op(container, name, corrupt_probability),
             self.retry, None, "blob.download",
+            budget=self.budget, breaker=self.breaker,
         )
         return result

@@ -2,26 +2,48 @@
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 from repro.client.base import measured_call, with_retries
 from repro.client.retry import RetryPolicy
+from repro.resilience.hedging import HedgePolicy, hedged_call
 from repro.storage.queue import QueueMessage, QueueService
 
 
 class QueueClient:
-    """Queue operations with client timeout + retry."""
+    """Queue operations with client timeout + retry.
+
+    Optional resilience hooks (see :mod:`repro.resilience`): ``budget``
+    (shared retry budget), ``breaker`` (circuit breaker), and ``hedge``
+    (hedging for the idempotent Peek read path only — Receive mutates
+    visibility state and is never hedged).
+    """
 
     def __init__(
         self,
         service: QueueService,
         timeout_s: float = 30.0,
         retry: Optional[RetryPolicy] = None,
+        budget: Optional[Any] = None,
+        breaker: Optional[Any] = None,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         self.service = service
         self.env = service.env
         self.timeout_s = timeout_s
         self.retry = retry if retry is not None else RetryPolicy()
+        self.budget = budget
+        self.breaker = breaker
+        self.hedge = hedge
+
+    def _peek_op(self, queue: str):
+        """The (possibly hedged) Peek attempt factory."""
+        def make():
+            return self.service.peek(queue)
+
+        if self.hedge is None:
+            return make
+        return lambda: hedged_call(self.env, make, self.hedge, "queue.peek")
 
     # -- raising API ---------------------------------------------------------
     def add(self, queue: str, payload: object, size_kb: float = 0.5) -> Generator:
@@ -29,14 +51,16 @@ class QueueClient:
             self.env,
             lambda: self.service.add(queue, payload, size_kb),
             self.retry, self.timeout_s, "queue.add",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
     def peek(self, queue: str) -> Generator:
         result = yield from with_retries(
             self.env,
-            lambda: self.service.peek(queue),
+            self._peek_op(queue),
             self.retry, self.timeout_s, "queue.peek",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -47,6 +71,7 @@ class QueueClient:
             self.env,
             lambda: self.service.receive(queue, visibility_timeout_s),
             self.retry, self.timeout_s, "queue.receive",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -63,6 +88,7 @@ class QueueClient:
                 queue, max_messages, visibility_timeout_s
             ),
             self.retry, self.timeout_s, "queue.receive_batch",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -73,6 +99,7 @@ class QueueClient:
             self.env,
             lambda: self.service.delete(queue, message, pop_receipt),
             self.retry, self.timeout_s, "queue.delete",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -84,14 +111,16 @@ class QueueClient:
             self.env,
             lambda: self.service.add(queue, payload, size_kb),
             self.retry, self.timeout_s, "queue.add",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
     def peek_measured(self, queue: str) -> Generator:
         result = yield from measured_call(
             self.env,
-            lambda: self.service.peek(queue),
+            self._peek_op(queue),
             self.retry, self.timeout_s, "queue.peek",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -102,5 +131,6 @@ class QueueClient:
             self.env,
             lambda: self.service.receive(queue, visibility_timeout_s),
             self.retry, self.timeout_s, "queue.receive",
+            budget=self.budget, breaker=self.breaker,
         )
         return result

@@ -1,24 +1,32 @@
-"""Client retry policy (2009 StorageClient defaults)."""
+"""Client retry policy (2009 StorageClient defaults, pluggable backoff)."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro import calibration as cal
 from repro.storage.errors import StorageError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.backoff import BackoffStrategy
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with linear backoff.
+    """Bounded retry with a pluggable backoff strategy.
 
-    The 2009 StorageClient defaulted to 3 retries with ~1 s backoff;
-    only transport/server-side failures are retryable -- semantic
-    failures (not-found, already-exists, precondition) never are.
+    The 2009 StorageClient defaulted to 3 retries with ~1 s linear
+    backoff, which remains the default here (``strategy=None`` keeps the
+    seed's ``backoff_s * (attempt + 1)`` schedule).  Alternatives live
+    in :mod:`repro.resilience.backoff`.  Only transport/server-side
+    failures are retryable -- semantic failures (not-found,
+    already-exists, precondition) never are.
     """
 
     max_retries: int = cal.STORAGE_RETRY_COUNT
     backoff_s: float = cal.STORAGE_RETRY_BACKOFF_S
+    strategy: Optional["BackoffStrategy"] = None
 
     def should_retry(self, error: BaseException, attempt: int) -> bool:
         """Whether ``attempt`` (0-based) may be retried after ``error``."""
@@ -28,6 +36,8 @@ class RetryPolicy:
 
     def backoff(self, attempt: int) -> float:
         """Seconds to wait before retry number ``attempt + 1``."""
+        if self.strategy is not None:
+            return self.strategy.delay(attempt)
         return self.backoff_s * (attempt + 1)
 
 

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from repro import calibration as cal
 from repro.client.base import measured_call, with_retries
 from repro.client.retry import RetryPolicy
+from repro.resilience.hedging import HedgePolicy, hedged_call
 from repro.storage.table import Entity, TableService
 
 
@@ -15,6 +16,10 @@ class TableClient:
 
     ``*_measured`` variants return ``(result, OperationOutcome)`` and
     never raise; they are what the benchmark drivers use.
+
+    Optional resilience hooks (see :mod:`repro.resilience`): ``budget``
+    (shared retry budget), ``breaker`` (circuit breaker), and ``hedge``
+    (hedging for the idempotent keyed-Query read path only).
     """
 
     def __init__(
@@ -22,11 +27,26 @@ class TableClient:
         service: TableService,
         timeout_s: float = cal.TABLE_CLIENT_TIMEOUT_S,
         retry: Optional[RetryPolicy] = None,
+        budget: Optional[Any] = None,
+        breaker: Optional[Any] = None,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         self.service = service
         self.env = service.env
         self.timeout_s = timeout_s
         self.retry = retry if retry is not None else RetryPolicy()
+        self.budget = budget
+        self.breaker = breaker
+        self.hedge = hedge
+
+    def _query_op(self, table: str, pk: str, rk: str):
+        """The (possibly hedged) keyed-Query attempt factory."""
+        def make():
+            return self.service.query(table, pk, rk)
+
+        if self.hedge is None:
+            return make
+        return lambda: hedged_call(self.env, make, self.hedge, "table.query")
 
     # -- raising API ---------------------------------------------------------
     def insert(self, table: str, entity: Entity) -> Generator:
@@ -34,14 +54,16 @@ class TableClient:
             self.env,
             lambda: self.service.insert(table, entity),
             self.retry, self.timeout_s, "table.insert",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
     def query(self, table: str, pk: str, rk: str) -> Generator:
         result = yield from with_retries(
             self.env,
-            lambda: self.service.query(table, pk, rk),
+            self._query_op(table, pk, rk),
             self.retry, self.timeout_s, "table.query",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -52,6 +74,7 @@ class TableClient:
             self.env,
             lambda: self.service.update(table, entity, if_match),
             self.retry, self.timeout_s, "table.update",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -60,6 +83,7 @@ class TableClient:
             self.env,
             lambda: self.service.delete(table, pk, rk),
             self.retry, self.timeout_s, "table.delete",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -70,6 +94,7 @@ class TableClient:
             self.env,
             lambda: self.service.query_by_property(table, pk, predicate),
             self.retry, self.timeout_s, "table.scan",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -79,14 +104,16 @@ class TableClient:
             self.env,
             lambda: self.service.insert(table, entity),
             self.retry, self.timeout_s, "table.insert",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
     def query_measured(self, table: str, pk: str, rk: str) -> Generator:
         result = yield from measured_call(
             self.env,
-            lambda: self.service.query(table, pk, rk),
+            self._query_op(table, pk, rk),
             self.retry, self.timeout_s, "table.query",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -95,6 +122,7 @@ class TableClient:
             self.env,
             lambda: self.service.update(table, entity),
             self.retry, self.timeout_s, "table.update",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -103,6 +131,7 @@ class TableClient:
             self.env,
             lambda: self.service.delete(table, pk, rk),
             self.retry, self.timeout_s, "table.delete",
+            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -113,5 +142,6 @@ class TableClient:
             self.env,
             lambda: self.service.query_by_property(table, pk, predicate),
             self.retry, self.timeout_s, "table.scan",
+            budget=self.budget, breaker=self.breaker,
         )
         return result

@@ -3,30 +3,60 @@
 The paper's Section 6.3 lesson — "errors that did not occur at lower
 scale will begin to become common as scale increases" — makes fault
 drills a first-class need.  A :class:`FaultInjector` attaches to one or
-more partition servers and applies time-windowed faults:
+more partition servers (or a :class:`~repro.storage.blob.BlobService`)
+and applies time-windowed faults:
 
 * ``server_busy_storm`` — each request is rejected with HTTP-503
   semantics with probability ``magnitude`` (clients retry/back off);
 * ``latency_spike``     — each request pays an extra exponential delay
   with mean ``magnitude`` seconds;
-* ``blackout``          — every request fails with a connection error.
+* ``blackout``          — every request fails with a connection error
+  (network partition: nothing reaches the server);
+* ``crash_restart``     — the server process is down and restarting;
+  every request fails with a connection error, counted separately so
+  drills can distinguish network loss from server loss;
+* ``error_burst``       — each request fails with HTTP-500 semantics
+  (:class:`OperationTimeoutError`) with probability ``magnitude`` (a
+  misbehaving server that answers some requests and breaks others).
 
 Windows are declarative, so drills are reproducible and the same
 schedule can be replayed against different retry policies.
+
+Decision order
+--------------
+Each admission pass applies **at most one** delay-or-raise decision:
+active windows are evaluated in ``(start_s, insertion order)`` — the
+schedule order — and the first window whose check fires decides; later
+overlapping windows are not consulted on that pass.  This makes
+overlapping-window drills deterministic and keeps per-window stats
+attributable (each decision is charged to exactly one window).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generator, List
+from dataclasses import dataclass, field, fields
+from typing import Generator, List, Tuple
 
 import numpy as np
 
 from repro.simcore import Environment
-from repro.storage.errors import ConnectionFailureError, ServerBusyError
+from repro.storage.errors import (
+    ConnectionFailureError,
+    OperationTimeoutError,
+    ServerBusyError,
+)
 from repro.storage.partition import OpSpec, PartitionServer
 
-FAULT_KINDS = ("server_busy_storm", "latency_spike", "blackout")
+FAULT_KINDS = (
+    "server_busy_storm",
+    "latency_spike",
+    "blackout",
+    "crash_restart",
+    "error_burst",
+)
+
+#: Fault kinds whose ``magnitude`` is a per-request probability.
+_PROBABILITY_KINDS = ("server_busy_storm", "error_burst")
 
 
 @dataclass(frozen=True)
@@ -36,8 +66,8 @@ class FaultWindow:
     start_s: float
     duration_s: float
     kind: str
-    #: Rejection probability (storm), mean extra seconds (spike);
-    #: ignored for blackout.
+    #: Rejection/error probability (storm, error_burst), mean extra
+    #: seconds (spike); ignored for blackout and crash_restart.
     magnitude: float = 0.0
 
     def __post_init__(self) -> None:
@@ -47,8 +77,8 @@ class FaultWindow:
             )
         if self.duration_s <= 0:
             raise ValueError("duration_s must be > 0")
-        if self.kind == "server_busy_storm" and not 0 <= self.magnitude <= 1:
-            raise ValueError("storm magnitude is a probability")
+        if self.kind in _PROBABILITY_KINDS and not 0 <= self.magnitude <= 1:
+            raise ValueError(f"{self.kind} magnitude is a probability")
         if self.kind == "latency_spike" and self.magnitude <= 0:
             raise ValueError("spike magnitude is a positive delay")
 
@@ -62,20 +92,40 @@ class FaultWindow:
 
 @dataclass
 class FaultStats:
+    """Fault decisions, per window or aggregated over an injector."""
+
     rejections: int = 0
     blackout_failures: int = 0
+    crash_failures: int = 0
+    error_failures: int = 0
     delays_applied: int = 0
     extra_delay_s: float = 0.0
 
+    def add(self, other: "FaultStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
 
 class FaultInjector:
-    """Applies a window schedule to the servers it is attached to."""
+    """Applies a window schedule to the servers it is attached to.
+
+    ``window_stats[i]`` holds the decisions charged to the *i*-th added
+    window; :attr:`stats` aggregates them (the seed API).
+    """
 
     def __init__(self, env: Environment, rng: np.random.Generator) -> None:
         self.env = env
         self.rng = rng
         self.windows: List[FaultWindow] = []
-        self.stats = FaultStats()
+        self.window_stats: List[FaultStats] = []
+
+    @property
+    def stats(self) -> FaultStats:
+        """Aggregate of every window's stats."""
+        total = FaultStats()
+        for per_window in self.window_stats:
+            total.add(per_window)
+        return total
 
     def add_window(
         self,
@@ -86,34 +136,64 @@ class FaultInjector:
     ) -> FaultWindow:
         window = FaultWindow(start_s, duration_s, kind, magnitude)
         self.windows.append(window)
+        self.window_stats.append(FaultStats())
         return window
 
-    def attach(self, server: PartitionServer) -> None:
-        """Install this injector on a partition server."""
+    def stats_for(self, window: FaultWindow) -> FaultStats:
+        """Per-window stats (identity lookup, so duplicates are safe)."""
+        for candidate, per_window in zip(self.windows, self.window_stats):
+            if candidate is window:
+                return per_window
+        raise ValueError(f"{window} was not added to this injector")
+
+    def attach(self, server) -> None:
+        """Install this injector on a partition server (or blob service)."""
         if server.fault_injector is not None:
             raise ValueError(f"{server.name} already has a fault injector")
         server.fault_injector = self
 
+    def _schedule(self) -> List[Tuple[FaultWindow, FaultStats]]:
+        """Windows with their stats, in (start_s, insertion) order."""
+        order = sorted(
+            range(len(self.windows)), key=lambda i: (self.windows[i].start_s, i)
+        )
+        return [(self.windows[i], self.window_stats[i]) for i in order]
+
     def active_windows(self, now: float) -> List[FaultWindow]:
-        return [w for w in self.windows if w.covers(now)]
+        """Active windows in decision order."""
+        return [w for w, _s in self._schedule() if w.covers(now)]
 
     # -- the hook the partition server calls ---------------------------------
     def intercept(self, server: PartitionServer, op: OpSpec) -> Generator:
-        """Applied at request admission; may delay or raise."""
-        for window in self.active_windows(self.env.now):
+        """Applied at request admission; may delay or raise.
+
+        At most one decision fires per pass (see module docstring).
+        """
+        now = self.env.now
+        for window, stats in self._schedule():
+            if not window.covers(now):
+                continue
             if window.kind == "blackout":
-                self.stats.blackout_failures += 1
+                stats.blackout_failures += 1
+                raise ConnectionFailureError(f"{server.name}: blackout window")
+            if window.kind == "crash_restart":
+                stats.crash_failures += 1
                 raise ConnectionFailureError(
-                    f"{server.name}: blackout window"
+                    f"{server.name}: server crashed, restart in progress"
                 )
             if window.kind == "server_busy_storm":
                 if self.rng.random() < window.magnitude:
-                    self.stats.rejections += 1
-                    raise ServerBusyError(
-                        f"{server.name}: shed by 503 storm"
+                    stats.rejections += 1
+                    raise ServerBusyError(f"{server.name}: shed by 503 storm")
+            elif window.kind == "error_burst":
+                if self.rng.random() < window.magnitude:
+                    stats.error_failures += 1
+                    raise OperationTimeoutError(
+                        f"{server.name}: internal error burst"
                     )
             elif window.kind == "latency_spike":
                 delay = float(self.rng.exponential(window.magnitude))
-                self.stats.delays_applied += 1
-                self.stats.extra_delay_s += delay
+                stats.delays_applied += 1
+                stats.extra_delay_s += delay
                 yield self.env.timeout(delay)
+                return

@@ -148,6 +148,55 @@ def attach_partition_server(
     )
 
 
+#: Numeric encoding of breaker states for gauges/time series.
+BREAKER_STATE_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
+
+def attach_circuit_breaker(
+    registry: MetricsRegistry,
+    breaker,
+    prefix: str = "breaker",
+) -> None:
+    """Register a circuit breaker's state and counters.
+
+    Exposes the state (0 = closed, 1 = half-open, 2 = open), rolling
+    error rate, fast-failure and trip counts as gauges, and increments a
+    ``<prefix>.transitions.<state>`` counter on every state change
+    (chaining any transition callback already installed).
+    """
+    registry.register_gauge(
+        f"{prefix}.state",
+        lambda b=breaker: BREAKER_STATE_CODES[b.state],
+    )
+    registry.register_gauge(
+        f"{prefix}.error_rate", lambda b=breaker: b.error_rate
+    )
+    registry.register_gauge(
+        f"{prefix}.fast_failures", lambda b=breaker: b.fast_failures
+    )
+    registry.register_gauge(f"{prefix}.opens", lambda b=breaker: b.opens)
+
+    previous = breaker.on_transition
+
+    def record(now: float, old: str, new: str) -> None:
+        registry.counter(f"{prefix}.transitions.{new}").increment()
+        if previous is not None:
+            previous(now, old, new)
+
+    breaker.on_transition = record
+
+
+def attach_retry_budget(
+    registry: MetricsRegistry,
+    budget,
+    prefix: str = "retry_budget",
+) -> None:
+    """Register a retry budget's live balance and shed-retry counters."""
+    registry.register_gauge(f"{prefix}.tokens", lambda b=budget: b.tokens)
+    registry.register_gauge(f"{prefix}.granted", lambda b=budget: b.granted)
+    registry.register_gauge(f"{prefix}.shed", lambda b=budget: b.shed)
+
+
 def attach_worker_pool(registry: MetricsRegistry, pool) -> None:
     """Register a ModisAzure worker pool's state as gauges/counters."""
     registry.register_gauge("pool.outstanding", lambda: pool.outstanding)

@@ -1,0 +1,61 @@
+"""Client-side resilience: backoff, retry budgets, breakers, hedging.
+
+The paper's Section 6.3 lesson — "errors that did not occur at lower
+scale will begin to become common as scale increases" — is a client-side
+lesson as much as a server-side one: the 2009 StorageClient's fixed
+3-retry linear backoff is exactly the policy that turns a transient
+storm into a retry storm at scale.  This package makes the whole
+retry/timeout path pluggable and measurable:
+
+* :mod:`repro.resilience.backoff`  — pluggable backoff strategies;
+* :mod:`repro.resilience.budget`   — per-client-group retry budgets;
+* :mod:`repro.resilience.breaker`  — a circuit breaker that fails fast;
+* :mod:`repro.resilience.hedging`  — hedged idempotent reads;
+* :mod:`repro.resilience.drills`   — the chaos-drill harness that
+  replays :mod:`repro.faults` schedules against a policy matrix and
+  renders SLO verdicts.
+
+Internal modules import the submodules directly (never this package) so
+that :mod:`repro.client` and :mod:`repro.resilience.drills` do not form
+an import cycle.
+"""
+
+from repro.resilience.backoff import (
+    BackoffStrategy,
+    CappedExponentialBackoff,
+    FullJitterBackoff,
+    LinearBackoff,
+)
+from repro.resilience.breaker import CircuitBreaker, CircuitOpenError
+from repro.resilience.budget import RetryBudget
+from repro.resilience.drills import (
+    DrillReport,
+    DrillSpec,
+    HedgeDrillReport,
+    PolicySpec,
+    default_policy_matrix,
+    run_drill,
+    run_hedge_drill,
+    storm_drill_spec,
+)
+from repro.resilience.hedging import HedgePolicy, hedged_call
+
+__all__ = [
+    "BackoffStrategy",
+    "CappedExponentialBackoff",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DrillReport",
+    "DrillSpec",
+    "FullJitterBackoff",
+    "HedgeDrillReport",
+    "HedgePolicy",
+    "LinearBackoff",
+    "PolicySpec",
+    "RetryBudget",
+    "default_policy_matrix",
+    "hedged_call",
+    "run_drill",
+    "run_hedge_drill",
+    "storm_drill_spec",
+]

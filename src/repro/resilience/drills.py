@@ -1,0 +1,535 @@
+"""The chaos-drill harness: fault schedules × policy matrix → SLO verdicts.
+
+A drill replays a declarative :class:`~repro.faults.FaultWindow`
+schedule against an open-loop client population once per resilience
+policy, and reports what the *client* observed — availability through
+the full retry/timeout path, latency percentiles, goodput and the
+retry-amplification factor the server absorbed.  That is the paper's
+Section 6.3 monitoring lesson turned into an executable gate: the same
+storm is survivable or fatal depending only on the client policy, and
+the verdict table makes the difference quantitative.
+
+The workload is deliberately **open loop** (each client fires one
+operation per interval whether or not the previous one finished), which
+is what makes retry storms visible: a policy that amplifies the storm
+stacks its retries on top of fresh arrivals, driving the server's
+overload shedding, while a budgeted policy sheds retries and keeps the
+arrival rate near the offered rate.
+
+Everything is emitted through a :class:`~repro.monitoring.MetricsRegistry`
+per policy run, so drill results are ordinary monitoring data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.faults import FaultInjector, FaultWindow
+from repro.monitoring import (
+    MetricsRegistry,
+    attach_circuit_breaker,
+    attach_retry_budget,
+)
+from repro.resilience.backoff import make_backoff
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import RetryBudget
+from repro.resilience.hedging import HedgePolicy
+from repro.simcore import Environment, RandomStreams, Tally
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Declarative description of one resilience policy under test."""
+
+    name: str
+    max_retries: int = 3
+    backoff: str = "linear"  # linear | exponential | jitter
+    backoff_base_s: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 30.0
+    #: Tokens deposited per call; ``None`` disables the retry budget.
+    budget_ratio: Optional[float] = None
+    budget_initial: float = 5.0
+    budget_max: float = 50.0
+    #: Whether a circuit breaker wraps the client.
+    breaker: bool = False
+    breaker_window: int = 20
+    breaker_threshold: float = 0.5
+    breaker_min_volume: int = 10
+    breaker_open_for_s: float = 15.0
+
+    def build(
+        self, env: Environment, rng: np.random.Generator
+    ) -> Tuple[Any, Optional[RetryBudget], Optional[CircuitBreaker]]:
+        """Instantiate (retry_policy, budget, breaker) for one run."""
+        from repro.client.retry import RetryPolicy
+
+        strategy = None
+        if self.backoff != "linear" or self.backoff_base_s != 1.0:
+            strategy = make_backoff(
+                self.backoff,
+                self.backoff_base_s,
+                self.backoff_factor,
+                self.backoff_cap_s,
+                rng=rng,
+            )
+        policy = RetryPolicy(
+            max_retries=self.max_retries,
+            backoff_s=self.backoff_base_s,
+            strategy=strategy,
+        )
+        budget = None
+        if self.budget_ratio is not None:
+            budget = RetryBudget(
+                ratio=self.budget_ratio,
+                initial_tokens=self.budget_initial,
+                max_tokens=self.budget_max,
+            )
+        breaker = None
+        if self.breaker:
+            breaker = CircuitBreaker(
+                env,
+                window=self.breaker_window,
+                error_threshold=self.breaker_threshold,
+                min_volume=self.breaker_min_volume,
+                open_for_s=self.breaker_open_for_s,
+                name=f"{self.name}.breaker",
+            )
+        return policy, budget, breaker
+
+
+@dataclass(frozen=True)
+class DrillSpec:
+    """One reproducible drill: fault schedule, workload and SLO targets."""
+
+    name: str
+    windows: Tuple[FaultWindow, ...]
+    n_clients: int = 24
+    duration_s: float = 300.0
+    op_interval_s: float = 2.0
+    entity_kb: float = 64.0
+    client_timeout_s: float = 5.0
+    seed: int = 3
+    #: Optional server overload overrides (None keeps the calibrated
+    #: defaults).  A low knee / steep slope makes the server sensitive
+    #: to retry amplification: parked requests hold payload for
+    #: ``server_timeout_s``, so storms feed back into shedding.
+    overload_knee_mb: Optional[float] = None
+    overload_slope_per_mb: Optional[float] = None
+    server_timeout_s: Optional[float] = None
+    #: SLO targets the verdict column checks.
+    slo_availability: float = 0.9
+    slo_p99_ms: float = 10_000.0
+    slo_amplification: float = 1.5
+
+    @property
+    def ops_per_client(self) -> int:
+        return int(self.duration_s / self.op_interval_s)
+
+    def in_window(self, t: float) -> bool:
+        return any(w.covers(t) for w in self.windows)
+
+
+@dataclass
+class PolicyResult:
+    """Client-observed outcome of one policy under one drill."""
+
+    policy: str
+    ops: int = 0
+    ok: int = 0
+    failed: int = 0
+    retries: int = 0
+    shed_retries: int = 0
+    server_attempts: int = 0
+    window_ops: int = 0
+    window_attempts: int = 0
+    fast_failures: int = 0
+    #: Latency percentiles are over *successful* operations (a failed
+    #: operation's "latency" is its time-to-give-up, tallied separately).
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    breaker_states: List[str] = field(default_factory=list)
+    registry: Optional[MetricsRegistry] = None
+    spec: Optional[DrillSpec] = None
+
+    @property
+    def availability(self) -> float:
+        """Client-observed availability through the full retry path."""
+        return self.ok / self.ops if self.ops else 0.0
+
+    @property
+    def goodput_ops_s(self) -> float:
+        return self.ok / self.spec.duration_s if self.spec else 0.0
+
+    @property
+    def amplification(self) -> float:
+        """Server-side attempts per client operation (retry storms > 1)."""
+        return self.server_attempts / self.ops if self.ops else 0.0
+
+    @property
+    def window_amplification(self) -> float:
+        """Attempts the server absorbed *during* fault windows, per
+        operation issued during those windows — extra load piled on a
+        server that was already in trouble."""
+        return self.window_attempts / self.window_ops if self.window_ops else 0.0
+
+    @property
+    def slo_pass(self) -> bool:
+        assert self.spec is not None
+        return (
+            self.availability >= self.spec.slo_availability
+            and self.p99_ms <= self.spec.slo_p99_ms
+            and self.amplification <= self.spec.slo_amplification
+        )
+
+
+@dataclass
+class DrillReport:
+    """All policy results for one drill, renderable as a verdict table."""
+
+    spec: DrillSpec
+    results: List[PolicyResult]
+
+    def result(self, policy_name: str) -> PolicyResult:
+        for result in self.results:
+            if result.policy == policy_name:
+                return result
+        raise KeyError(f"no policy named {policy_name!r} in this drill")
+
+    @property
+    def passed(self) -> bool:
+        """At least one policy met every SLO target."""
+        return any(result.slo_pass for result in self.results)
+
+    def render(self) -> str:
+        spec = self.spec
+        rows = []
+        for r in self.results:
+            rows.append([
+                r.policy,
+                f"{r.availability:.3f}",
+                f"{r.p50_ms:.0f}",
+                f"{r.p99_ms:.0f}",
+                f"{r.goodput_ops_s:.2f}",
+                f"{r.amplification:.2f}",
+                f"{r.window_amplification:.2f}",
+                r.shed_retries,
+                r.fast_failures,
+                "->".join(r.breaker_states) if r.breaker_states else "-",
+                "PASS" if r.slo_pass else "FAIL",
+            ])
+        title = (
+            f"chaos drill '{spec.name}' — {spec.n_clients} clients, "
+            f"{spec.duration_s:.0f}s, SLO: avail>={spec.slo_availability}, "
+            f"p99<={spec.slo_p99_ms:.0f}ms, amp<={spec.slo_amplification}"
+        )
+        return ascii_table(
+            ["policy", "avail", "p50 ms", "p99 ms", "goodput/s",
+             "amplif", "amp@fault", "shed", "fastfail", "breaker", "verdict"],
+            rows,
+            title=title,
+        )
+
+
+def _run_policy(spec: DrillSpec, pspec: PolicySpec) -> PolicyResult:
+    """One policy × one drill: fresh environment, same seed and schedule."""
+    from repro.client import TableClient
+    from repro.storage import TableService
+
+    env = Environment()
+    streams = RandomStreams(spec.seed)
+    svc = TableService(env, streams.stream("svc"))
+    svc.create_table("t")
+    server = svc.server_for("t", "p")
+    if spec.overload_knee_mb is not None:
+        server.overload_knee_mb = spec.overload_knee_mb
+    if spec.overload_slope_per_mb is not None:
+        server.overload_slope_per_mb = spec.overload_slope_per_mb
+    if spec.server_timeout_s is not None:
+        server.server_timeout_s = spec.server_timeout_s
+
+    injector = FaultInjector(env, streams.stream("faults"))
+    for window in spec.windows:
+        injector.add_window(
+            window.start_s, window.duration_s, window.kind, window.magnitude
+        )
+    injector.attach(server)
+
+    policy, budget, breaker = pspec.build(env, streams.stream("policy"))
+    registry = MetricsRegistry()
+    if budget is not None:
+        attach_retry_budget(registry, budget)
+    if breaker is not None:
+        attach_circuit_breaker(registry, breaker)
+    latency = registry.tally("drill.latency")
+    client = TableClient(
+        svc,
+        timeout_s=spec.client_timeout_s,
+        retry=policy,
+        budget=budget,
+        breaker=breaker,
+    )
+
+    from repro.storage.table import make_entity
+
+    def one_op(idx: int, k: int):
+        entity = make_entity("p", f"c{idx}-k{k}", size_kb=spec.entity_kb)
+        _result, outcome = yield from client.insert_measured("t", entity)
+        registry.counter("drill.retries").increment(outcome.retries)
+        if outcome.ok:
+            latency.observe(outcome.latency_s)
+            registry.counter("drill.ok").increment()
+        else:
+            registry.tally("drill.give_up_latency").observe(outcome.latency_s)
+            registry.counter("drill.failed").increment()
+
+    def arrivals(idx: int):
+        # Staggered open-loop arrivals: one op per interval, fired
+        # whether or not the previous one completed.
+        yield env.timeout(idx * spec.op_interval_s / spec.n_clients)
+        for k in range(spec.ops_per_client):
+            if spec.in_window(env.now):
+                registry.counter("drill.ops_in_window").increment()
+            env.process(one_op(idx, k))
+            yield env.timeout(spec.op_interval_s)
+
+    # Sample server attempts at each fault-window boundary so the report
+    # can charge in-window load to the windows themselves.
+    window_deltas: List[int] = []
+
+    def window_monitor(window: FaultWindow):
+        yield env.timeout(window.start_s)
+        before = server.stats.started
+        yield env.timeout(window.duration_s)
+        window_deltas.append(server.stats.started - before)
+
+    for window in spec.windows:
+        env.process(window_monitor(window))
+    for idx in range(spec.n_clients):
+        env.process(arrivals(idx))
+    env.run()
+
+    result = PolicyResult(policy=pspec.name, spec=spec, registry=registry)
+    result.ops = spec.n_clients * spec.ops_per_client
+    result.ok = int(registry.counter("drill.ok").value)
+    result.failed = int(registry.counter("drill.failed").value)
+    result.retries = int(registry.counter("drill.retries").value)
+    result.shed_retries = budget.shed if budget is not None else 0
+    result.server_attempts = server.stats.started
+    result.window_ops = int(registry.counter("drill.ops_in_window").value)
+    result.window_attempts = sum(window_deltas)
+    result.fast_failures = breaker.fast_failures if breaker is not None else 0
+    if latency.count:
+        result.p50_ms = float(latency.percentile(50)) * 1000.0
+        result.p99_ms = float(latency.percentile(99)) * 1000.0
+    if breaker is not None:
+        result.breaker_states = breaker.state_sequence()
+    return result
+
+
+def run_drill(
+    spec: DrillSpec,
+    policies: Optional[Sequence[PolicySpec]] = None,
+) -> DrillReport:
+    """Replay ``spec``'s fault schedule once per policy (same seed)."""
+    if policies is None:
+        policies = default_policy_matrix()
+    return DrillReport(spec, [_run_policy(spec, p) for p in policies])
+
+
+# -- standard drills (the CLI scenarios) -----------------------------------
+
+def default_policy_matrix() -> List[PolicySpec]:
+    """The comparison the drill report is built around.
+
+    ``seed-linear`` is the 2009 StorageClient default; the others add
+    the resilience layer's mechanisms one at a time.
+    """
+    return [
+        PolicySpec("no-retry", max_retries=0),
+        PolicySpec("seed-linear", max_retries=3, backoff="linear",
+                   backoff_base_s=1.0),
+        PolicySpec("jitter-budget", max_retries=3, backoff="jitter",
+                   backoff_base_s=20.0, backoff_factor=3.0,
+                   backoff_cap_s=60.0,
+                   budget_ratio=0.5, budget_initial=150.0,
+                   budget_max=200.0),
+        PolicySpec("jitter-budget-breaker", max_retries=3, backoff="jitter",
+                   backoff_base_s=20.0, backoff_factor=3.0,
+                   backoff_cap_s=60.0,
+                   budget_ratio=0.5, budget_initial=150.0,
+                   budget_max=200.0,
+                   breaker=True),
+    ]
+
+
+def storm_drill_spec(seed: int = 3, scale: float = 1.0) -> DrillSpec:
+    """The headline drill: an intense 503 storm mid-run.
+
+    From t=60 s a 30-second window rejects 95% of requests.  The seed
+    linear policy replays rejected work on a fixed 1-2-3 s cadence, so
+    every retry lands back inside the storm (high in-window
+    amplification, little availability gained); the jittered exponential
+    spreads its retries across a ~minute horizon, so most operations
+    ride the window out, while the retry budget caps the total extra
+    load the server sees.
+    """
+    duration = 300.0 * scale
+    return DrillSpec(
+        name="server-busy-storm",
+        windows=(FaultWindow(60.0 * scale, 30.0 * scale,
+                             "server_busy_storm", 0.95),),
+        duration_s=duration,
+        seed=seed,
+        slo_availability=0.93,
+        slo_p99_ms=60_000.0,
+        slo_amplification=1.2,
+    )
+
+
+def crash_drill_spec(seed: int = 3, scale: float = 1.0) -> DrillSpec:
+    """A partition-server crash + restart: total loss for 45 s."""
+    return DrillSpec(
+        name="crash-restart",
+        windows=(FaultWindow(60.0 * scale, 45.0 * scale, "crash_restart"),),
+        duration_s=300.0 * scale,
+        seed=seed,
+    )
+
+
+def error_burst_drill_spec(seed: int = 3, scale: float = 1.0) -> DrillSpec:
+    """An HTTP-500 burst: the server answers but errors on 60%."""
+    return DrillSpec(
+        name="error-burst",
+        windows=(FaultWindow(60.0 * scale, 90.0 * scale, "error_burst", 0.6),),
+        duration_s=300.0 * scale,
+        seed=seed,
+    )
+
+
+DRILL_SCENARIOS = {
+    "storm": storm_drill_spec,
+    "crash": crash_drill_spec,
+    "burst": error_burst_drill_spec,
+}
+
+
+# -- the hedging drill ------------------------------------------------------
+
+@dataclass
+class HedgeDrillReport:
+    """Hedged vs unhedged blob Get under a latency spike."""
+
+    unhedged_p50_ms: float
+    unhedged_p99_ms: float
+    hedged_p50_ms: float
+    hedged_p99_ms: float
+    reads: int
+    hedges_launched: int
+    hedge_wins: int
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Extra server reads per client read — the hedging cost."""
+        return self.hedges_launched / self.reads if self.reads else 0.0
+
+    @property
+    def p99_speedup(self) -> float:
+        return (
+            self.unhedged_p99_ms / self.hedged_p99_ms
+            if self.hedged_p99_ms
+            else 0.0
+        )
+
+    def render(self) -> str:
+        rows = [
+            ["unhedged", f"{self.unhedged_p50_ms:.0f}",
+             f"{self.unhedged_p99_ms:.0f}", "0.00"],
+            ["hedged", f"{self.hedged_p50_ms:.0f}",
+             f"{self.hedged_p99_ms:.0f}", f"{self.duplicate_fraction:.2f}"],
+        ]
+        table = ascii_table(
+            ["blob Get", "p50 ms", "p99 ms", "duplicate work"],
+            rows,
+            title=(
+                f"hedging drill — latency spike, {self.reads} reads, "
+                f"p99 speedup {self.p99_speedup:.1f}x "
+                f"({self.hedge_wins} hedge wins)"
+            ),
+        )
+        return table
+
+
+def _hedge_run(
+    seed: int,
+    use_hedging: bool,
+    n_clients: int,
+    reads_per_client: int,
+    blob_mb: float,
+    spike_magnitude_s: float,
+) -> Tuple[Tally, Optional[HedgePolicy]]:
+    """One hedged-or-not pass over a spiking blob read workload."""
+    from repro.client import BlobClient
+    from repro.client.retry import NO_RETRY
+    from repro.workloads.harness import build_platform
+
+    platform = build_platform(seed=seed, n_clients=n_clients)
+    env = platform.env
+    blob_svc = platform.account.blobs
+    blob_svc.create_container("drill")
+    blob_svc.seed_blob("drill", "hot", blob_mb)
+    injector = FaultInjector(env, platform.streams.stream("faults"))
+    injector.attach(blob_svc)
+    injector.add_window(0.0, 1e9, "latency_spike", spike_magnitude_s)
+
+    latencies = Tally("blob.get.latency")
+    hedge = HedgePolicy(percentile=90.0, default_delay_s=0.6) if use_hedging else None
+
+    def reader(idx: int):
+        client = BlobClient(
+            blob_svc, platform.clients[idx], retry=NO_RETRY, hedge=hedge
+        )
+        for _ in range(reads_per_client):
+            start = env.now
+            yield from client.download("drill", "hot")
+            latencies.observe(env.now - start)
+            yield env.timeout(2.0)
+
+    for idx in range(n_clients):
+        env.process(reader(idx))
+    env.run()
+    return latencies, hedge
+
+
+def run_hedge_drill(
+    seed: int = 7,
+    n_clients: int = 4,
+    reads_per_client: int = 50,
+    blob_mb: float = 2.0,
+    spike_magnitude_s: float = 1.5,
+) -> HedgeDrillReport:
+    """Compare hedged vs unhedged blob Get under a latency-spike window.
+
+    Both passes replay the identical spike schedule and workload; only
+    the client's hedge policy differs.
+    """
+    unhedged, _ = _hedge_run(
+        seed, False, n_clients, reads_per_client, blob_mb, spike_magnitude_s
+    )
+    hedged, hedge = _hedge_run(
+        seed, True, n_clients, reads_per_client, blob_mb, spike_magnitude_s
+    )
+    assert hedge is not None
+    return HedgeDrillReport(
+        unhedged_p50_ms=float(unhedged.percentile(50)) * 1000.0,
+        unhedged_p99_ms=float(unhedged.percentile(99)) * 1000.0,
+        hedged_p50_ms=float(hedged.percentile(50)) * 1000.0,
+        hedged_p99_ms=float(hedged.percentile(99)) * 1000.0,
+        reads=n_clients * reads_per_client,
+        hedges_launched=hedge.launched,
+        hedge_wins=hedge.wins,
+    )

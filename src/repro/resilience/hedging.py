@@ -1,0 +1,122 @@
+"""Request hedging for idempotent reads.
+
+Tail latency in the paper's storage measurements is dominated by a few
+slow requests (queueing, latency spikes), not by the median.  Hedging
+bounds the tail: if the primary attempt has not completed by a tracked
+latency percentile, launch one backup attempt and take whichever
+finishes first.  The loser is *defused* — the same orphan machinery
+:func:`repro.client.base.race_timeout` uses — so it keeps consuming
+server resources (as an abandoned HTTP request would) but its eventual
+failure is silenced.
+
+Only idempotent reads may be hedged (blob Get, table Query, queue
+Peek); the clients enforce that by wiring :func:`hedged_call` into
+exactly those paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.simcore import Environment, Tally
+
+
+class HedgePolicy:
+    """When to hedge, plus the cost accounting.
+
+    The hedge delay is the ``percentile``-th latency of completed calls;
+    until ``warmup`` observations exist, ``default_delay_s`` is used.
+
+    Attributes
+    ----------
+    calls / launched / wins:
+        Total hedged-path calls, backups actually launched, and races
+        the backup won.  ``launched`` is also the duplicate-work cost:
+        every launch is one extra server operation.
+    """
+
+    def __init__(
+        self,
+        percentile: float = 95.0,
+        default_delay_s: float = 0.5,
+        min_delay_s: float = 0.02,
+        warmup: int = 16,
+    ) -> None:
+        if not 0 < percentile < 100:
+            raise ValueError("percentile must be in (0, 100)")
+        if default_delay_s <= 0 or min_delay_s <= 0:
+            raise ValueError("hedge delays must be > 0")
+        self.percentile = percentile
+        self.default_delay_s = default_delay_s
+        self.min_delay_s = min_delay_s
+        self.warmup = warmup
+        self.latency = Tally("hedge.latency")
+        self.calls = 0
+        self.launched = 0
+        self.wins = 0
+
+    def hedge_delay(self) -> float:
+        if self.latency.count < self.warmup:
+            return self.default_delay_s
+        return max(
+            self.min_delay_s, float(self.latency.percentile(self.percentile))
+        )
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Extra server operations per call (the hedging cost)."""
+        return self.launched / self.calls if self.calls else 0.0
+
+
+def hedged_call(
+    env: Environment,
+    make_operation: Callable[[], Generator],
+    policy: HedgePolicy,
+    description: str = "read",
+) -> Generator:
+    """Run an idempotent read with one optional hedged backup.
+
+    Returns the winner's value; raises only if every launched attempt
+    failed.  The losing attempt is defused and left to run out as an
+    orphan.
+    """
+    policy.calls += 1
+    start = env.now
+    primary = env.process(make_operation())
+    timer = env.timeout(policy.hedge_delay())
+    try:
+        yield env.any_of([primary, timer])
+    except Exception:
+        # The primary failed before the hedge fired; surface it to the
+        # retry layer unchanged.
+        policy.latency.observe(env.now - start)
+        raise
+    if primary.processed:
+        policy.latency.observe(env.now - start)
+        if not primary.ok:
+            raise primary.value
+        return primary.value
+
+    # Primary is past the hedge percentile: launch the backup and race.
+    policy.launched += 1
+    racers = [primary, env.process(make_operation())]
+    last_error: Optional[Exception] = None
+    while True:
+        winner = next((r for r in racers if r.processed and r.ok), None)
+        if winner is not None:
+            if winner is not primary:
+                policy.wins += 1
+            for loser in racers:
+                if not loser.processed:
+                    loser.defuse()
+            policy.latency.observe(env.now - start)
+            return winner.value
+        pending = [r for r in racers if not r.processed]
+        if not pending:
+            policy.latency.observe(env.now - start)
+            assert last_error is not None
+            raise last_error
+        try:
+            yield env.any_of(pending)
+        except Exception as error:  # one racer failed; wait for the other
+            last_error = error

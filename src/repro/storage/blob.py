@@ -35,6 +35,11 @@ from repro.storage.errors import (
     CorruptBlobError,
     PreconditionFailedError,
 )
+from repro.storage.partition import OpSpec
+
+#: Admission-time op descriptors handed to an attached fault injector.
+_GET_OP = OpSpec("blob.get")
+_PUT_OP = OpSpec("blob.put")
 
 _etags = itertools.count(1)
 _tokens = itertools.count(1)
@@ -105,6 +110,9 @@ class BlobService:
         #: Staged (uncommitted) block-blob blocks: (container, name) ->
         #: {block_id: size_mb}.
         self._staged: Dict[Tuple[str, str], Dict[str, float]] = {}
+        #: Optional fault injector (see :mod:`repro.faults`); consulted
+        #: at data-plane request admission, like a partition server's.
+        self.fault_injector = None
         network.add_cap_hook(self._frontend_cap)
 
     # -- per-blob/container links and the front-end service curve ---------
@@ -212,6 +220,8 @@ class BlobService:
         if size_mb <= 0:
             raise ValueError(f"size_mb must be > 0, got {size_mb}")
         blobs = self._containers.setdefault(container, {})
+        if self.fault_injector is not None:
+            yield from self.fault_injector.intercept(self, _PUT_OP)
         yield from self._request_latency()
         if not overwrite and name in blobs:
             raise BlobAlreadyExistsError(f"{container}/{name}")
@@ -249,6 +259,8 @@ class BlobService:
         CorruptBlobError at the observed Table-2 rate.
         """
         meta = self.get_meta(container, name)
+        if self.fault_injector is not None:
+            yield from self.fault_injector.intercept(self, _GET_OP)
         yield from self._request_latency()
         link = self.download_link(container, name)
         self._download_conns[link] += 1

@@ -152,3 +152,109 @@ def test_queue_drill_end_to_end():
     env.run()
     assert sorted(drained) == list(range(10))
     assert injector.stats.rejections > 0
+
+
+def test_crash_restart_fails_with_connection_error():
+    env, svc, injector = _setup()
+    window = injector.add_window(0.0, 1e9, "crash_restart")
+    client = TableClient(svc, retry=NO_RETRY)
+    _, err = _run(env, client.insert("t", make_entity("p", "r")))
+    assert isinstance(err, ConnectionFailureError)
+    # Counted separately from blackouts, so drills can tell server loss
+    # from network loss.
+    assert injector.stats.crash_failures == 1
+    assert injector.stats.blackout_failures == 0
+    assert injector.stats_for(window).crash_failures == 1
+
+
+def test_error_burst_is_probabilistic_and_retryable():
+    env, svc, injector = _setup(seed=4)
+    injector.add_window(0.0, 1e9, "error_burst", magnitude=0.5)
+    client = TableClient(svc, retry=RetryPolicy(max_retries=8))
+    for i in range(20):
+        _, err = _run(env, client.insert("t", make_entity("p", f"r{i}")))
+        assert err is None  # retries absorb the burst
+    assert injector.stats.error_failures > 0
+    assert svc.entity_count("t") == 20
+
+
+def test_error_burst_magnitude_is_validated():
+    with pytest.raises(ValueError):
+        FaultWindow(0.0, 1.0, "error_burst", magnitude=1.5)
+
+
+def test_per_window_stats_attribution():
+    """Non-overlapping windows: each decision lands on its own window."""
+    env, svc, injector = _setup()
+    crash = injector.add_window(0.0, 10.0, "crash_restart")
+    blackout = injector.add_window(20.0, 10.0, "blackout")
+    client = TableClient(svc, retry=NO_RETRY)
+
+    def scenario(env):
+        _, err1 = yield from client.insert_measured("t", make_entity("p", "a"))
+        yield env.timeout(25.0 - env.now)
+        _, err2 = yield from client.insert_measured("t", make_entity("p", "b"))
+        return err1, err2
+
+    env.process(scenario(env))
+    env.run()
+    assert injector.stats_for(crash).crash_failures == 1
+    assert injector.stats_for(crash).blackout_failures == 0
+    assert injector.stats_for(blackout).blackout_failures == 1
+    assert injector.stats.crash_failures == 1
+    assert injector.stats.blackout_failures == 1
+
+
+def test_overlapping_windows_single_decision_in_schedule_order():
+    """The earlier-starting window decides; the later one is not consulted,
+    regardless of insertion order."""
+    env, svc, injector = _setup()
+    # Inserted out of order: the blackout starts later but is added first.
+    blackout = injector.add_window(5.0, 100.0, "blackout")
+    crash = injector.add_window(0.0, 100.0, "crash_restart")
+    assert [w.kind for w in injector.active_windows(10.0)] == [
+        "crash_restart", "blackout",
+    ]
+    client = TableClient(svc, retry=NO_RETRY)
+
+    def scenario(env):
+        yield env.timeout(10.0)  # both windows active
+        yield from client.insert_measured("t", make_entity("p", "r"))
+
+    env.process(scenario(env))
+    env.run()
+    assert injector.stats_for(crash).crash_failures == 1
+    assert injector.stats_for(blackout).blackout_failures == 0
+
+
+def test_overlapping_spike_then_storm_applies_only_the_delay():
+    """A firing latency_spike ends the pass: the 100% storm behind it in
+    the schedule never fires, and the op succeeds (slowly)."""
+    env, svc, injector = _setup()
+    injector.add_window(0.0, 1e9, "latency_spike", magnitude=0.5)
+    injector.add_window(10.0, 1e9, "server_busy_storm", magnitude=1.0)
+    client = TableClient(svc, retry=NO_RETRY)
+
+    def scenario(env):
+        yield env.timeout(20.0)  # both windows active
+        result = yield from client.insert_measured("t", make_entity("p", "r"))
+        return result
+
+    env.process(scenario(env))
+    env.run()
+    assert injector.stats.delays_applied == 1
+    assert injector.stats.rejections == 0
+    assert svc.entity_count("t") == 1
+
+
+def test_aggregate_stats_sum_window_stats():
+    env, svc, injector = _setup(seed=9)
+    first = injector.add_window(0.0, 1e9, "server_busy_storm", magnitude=1.0)
+    second = injector.add_window(0.0, 1e9, "server_busy_storm", magnitude=1.0)
+    client = TableClient(svc, retry=NO_RETRY)
+    for i in range(5):
+        _run(env, client.insert("t", make_entity("p", f"r{i}")))
+    # All five rejections charged to the first window of the schedule.
+    assert injector.stats_for(first).rejections == 5
+    assert injector.stats_for(second).rejections == 0
+    assert injector.stats.rejections == 5
