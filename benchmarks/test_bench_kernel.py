@@ -1,77 +1,39 @@
 """Benchmark: the simulator's own performance.
 
-Measures raw kernel throughput (events/second) and the flow network's
-reallocation cost -- the two hot paths every experiment sits on.  These
-are the numbers to watch when profiling (see tools/profile_simulator.py).
+Measures raw kernel throughput (events/second), the client timeout-race
+hot path, and the flow network's reallocation cost -- the hot paths
+every experiment sits on.  The churn workloads live in
+:mod:`repro.perfsnapshot` so ``repro bench --json`` and pytest-benchmark
+measure exactly the same code (see tools/profile_simulator.py for the
+profiling side of the loop).
 """
 
-from repro.network import FlowNetwork, Link
-from repro.simcore import Environment, Resource
-
-
-def _timeout_churn(n_processes: int, ticks: int) -> int:
-    """Ping-pong timeout scheduling: the pure event-loop hot path."""
-    env = Environment()
-    count = {"events": 0}
-
-    def ticker(env):
-        for _ in range(ticks):
-            yield env.timeout(1.0)
-            count["events"] += 1
-
-    for _ in range(n_processes):
-        env.process(ticker(env))
-    env.run()
-    return count["events"]
-
-
-def _resource_churn(n_processes: int, rounds: int) -> int:
-    env = Environment()
-    server = Resource(env, capacity=4)
-    count = {"ops": 0}
-
-    def client(env):
-        for _ in range(rounds):
-            with server.request() as req:
-                yield req
-                yield env.timeout(0.01)
-            count["ops"] += 1
-
-    for _ in range(n_processes):
-        env.process(client(env))
-    env.run()
-    return count["ops"]
-
-
-def _flow_churn(n_flows: int) -> int:
-    env = Environment()
-    net = FlowNetwork(env)
-    link = Link("l", 100.0)
-    done = {"n": 0}
-
-    def sender(env, size):
-        flow = net.transfer([link], size)
-        yield flow.done
-        done["n"] += 1
-
-    for i in range(n_flows):
-        env.process(sender(env, 1.0 + (i % 7)))
-    env.run()
-    return done["n"]
+from repro.perfsnapshot import (
+    flow_churn,
+    race_churn,
+    resource_churn,
+    timeout_churn,
+)
 
 
 def test_bench_kernel_event_loop(benchmark):
-    events = benchmark(lambda: _timeout_churn(n_processes=100, ticks=100))
+    events = benchmark(lambda: timeout_churn(n_processes=100, ticks=100))
     assert events == 10_000
 
 
 def test_bench_kernel_resources(benchmark):
-    ops = benchmark(lambda: _resource_churn(n_processes=50, rounds=20))
+    ops = benchmark(lambda: resource_churn(n_processes=50, rounds=20))
     assert ops == 1_000
+
+
+def test_bench_kernel_timeout_race(benchmark):
+    """The race_timeout path: one cancellable deadline per client op."""
+    ops = benchmark(lambda: race_churn(n_clients=50, ops=40))
+    assert ops == 2_000
 
 
 def test_bench_flow_reallocation(benchmark):
     """Every start/finish reallocates all active flows: O(n) per event,
     O(n^2) per batch -- the cost the blob experiments pay."""
-    done = benchmark(lambda: _flow_churn(n_flows=200))
+    done = benchmark(lambda: flow_churn(n_flows=200))
     assert done == 200

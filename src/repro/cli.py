@@ -36,7 +36,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     exported = {}
     for eid in ids:
         start = time.time()
-        report = run_experiment(eid, scale=args.scale, seed=args.seed)
+        report = run_experiment(
+            eid, scale=args.scale, seed=args.seed, jobs=args.jobs
+        )
         elapsed = time.time() - start
         print(report.render())
         print(f"\n({eid} finished in {elapsed:.1f}s)\n")
@@ -132,6 +134,28 @@ def _cmd_drill(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perfsnapshot import collect_snapshot
+
+    snapshot = collect_snapshot(quick=args.quick, jobs=args.jobs)
+    kernel = snapshot["kernel"]
+    print("kernel throughput (best of repeated runs):")
+    for key, value in kernel.items():
+        print(f"  {key:32s} {value:>12,.0f}")
+    if "experiment_wallclock_s" in snapshot:
+        print(f"\nexperiment wall-clock at scale={snapshot['scale']}, "
+              f"seed={snapshot['seed']}, jobs={snapshot['jobs']}:")
+        for eid, secs in snapshot["experiment_wallclock_s"].items():
+            print(f"  {eid:8s} {secs:>8.2f}s")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+        print(f"\nwrote perf snapshot to {args.json}")
+    return 0
+
+
 def _cmd_calibration(_args: argparse.Namespace) -> int:
     from repro.calibration import CalibrationSummary
 
@@ -169,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "worker processes for independent trials (default: auto = "
+            "usable cores capped at 8; 1 = in-process serial; results "
+            "are bit-identical for any value)"
+        ),
+    )
+    p_run.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write machine-readable results to this JSON file",
     )
@@ -197,6 +229,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write machine-readable verdicts to this JSON file",
     )
     p_drill.set_defaults(func=_cmd_drill)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help=(
+            "measure simulator performance (kernel events/sec + "
+            "per-experiment wall-clock) for BENCH_*.json tracking"
+        ),
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="kernel throughput only (skip experiment wall-clocks)",
+    )
+    p_bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="jobs value used for the experiment wall-clock runs",
+    )
+    p_bench.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the machine-readable snapshot to this JSON file",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_cal = sub.add_parser(
         "calibration", help="print the paper-anchored constants"

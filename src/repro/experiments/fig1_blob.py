@@ -2,20 +2,28 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import calibration as cal
 from repro.analysis import ShapeCheck, ascii_table
 from repro.experiments.report import ExperimentReport
+from repro.parallel import run_trials
 from repro.workloads.blob_bench import run_blob_test, sweep_blob
 
 TITLE = "Blob download/upload bandwidth vs concurrency"
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
-    """Reproduce Fig. 1.  ``scale`` multiplies the 1 GB test blob size."""
+def run(
+    scale: float = 1.0, seed: int = 0, jobs: Optional[int] = 1
+) -> ExperimentReport:
+    """Reproduce Fig. 1.  ``scale`` multiplies the 1 GB test blob size;
+    ``jobs`` fans independent trials across worker processes."""
     size_mb = max(cal.BLOB_TEST_SIZE_MB * scale, 10.0)
     levels = cal.CONCURRENCY_LEVELS
-    downloads = sweep_blob("download", levels=levels, size_mb=size_mb, seed=seed)
-    uploads = sweep_blob("upload", levels=levels, size_mb=size_mb, seed=seed + 1000)
+    downloads = sweep_blob("download", levels=levels, size_mb=size_mb,
+                           seed=seed, jobs=jobs)
+    uploads = sweep_blob("upload", levels=levels, size_mb=size_mb,
+                         seed=seed + 1000, jobs=jobs)
 
     rows = []
     for n in levels:
@@ -89,9 +97,12 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
     # performance is small and the average bandwidth is quite stable
     # across different times during the day, or across different days").
     repeats = [
-        run_blob_test("download", 32, size_mb=size_mb, seed=seed + 7000 + i)
-        .mean_client_mbps
-        for i in range(3)
+        r.mean_client_mbps
+        for r in run_trials(
+            run_blob_test,
+            [("download", 32, size_mb, seed + 7000 + i) for i in range(3)],
+            jobs=jobs,
+        )
     ]
     spread = (max(repeats) - min(repeats)) / (sum(repeats) / len(repeats))
     checks.check(

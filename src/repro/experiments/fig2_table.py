@@ -3,11 +3,12 @@ timeout and Section 6.1 property-filter sub-experiments)."""
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro import calibration as cal
 from repro.analysis import ShapeCheck, ascii_table
 from repro.experiments.report import ExperimentReport
+from repro.parallel import run_trials
 from repro.workloads.table_bench import (
     PHASES,
     run_property_filter_test,
@@ -27,13 +28,16 @@ def _scaled_ops(scale: float) -> Dict[str, int]:
     }
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
+def run(
+    scale: float = 1.0, seed: int = 0, jobs: Optional[int] = 1
+) -> ExperimentReport:
     """Reproduce Fig. 2 at 4 kB entities; ``scale`` multiplies the
-    per-client op counts (1.0 = the paper's 500/500/100/500)."""
+    per-client op counts (1.0 = the paper's 500/500/100/500); ``jobs``
+    fans independent trials across worker processes."""
     ops = _scaled_ops(scale)
     levels = cal.CONCURRENCY_LEVELS
     results = sweep_table(levels=levels, entity_kb=4.0,
-                          ops_per_client=ops, seed=seed)
+                          ops_per_client=ops, seed=seed, jobs=jobs)
 
     rows = []
     for n in levels:
@@ -114,17 +118,11 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
     # Entity-size similarity (Sec. 3.2: "the shape of the performance
     # curves for different entity sizes are similar", bar the 64 kB
     # timeout exceptions checked below).
-    small_ent = run_table_test(
-        32, entity_kb=1.0,
-        ops_per_client={"insert": ops["insert"], "query": 1, "update": 1,
-                        "delete": 1},
-        seed=seed + 501,
-    )
-    mid_ent = run_table_test(
-        32, entity_kb=16.0,
-        ops_per_client={"insert": ops["insert"], "query": 1, "update": 1,
-                        "delete": 1},
-        seed=seed + 502,
+    ent_ops = {"insert": ops["insert"], "query": 1, "update": 1, "delete": 1}
+    small_ent, mid_ent = run_trials(
+        run_table_test,
+        [(32, 1.0, ent_ops, seed + 501), (32, 16.0, ent_ops, seed + 502)],
+        jobs=jobs,
     )
     ent_ratio = (
         mid_ent.mean_client_ops("insert") / small_ent.mean_client_ops("insert")
@@ -138,11 +136,15 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
     # -- 64 kB sub-experiment: server-side timeouts at high concurrency.
     big_ops = {"insert": max(int(500 * scale), 25), "query": 1,
                "update": 1, "delete": 1}
-    big: Dict[int, int] = {}
-    for n in (64, 128, 192):
-        big[n] = run_table_test(
-            n, entity_kb=64.0, ops_per_client=big_ops, seed=seed + n
-        ).failed_clients("insert")
+    big_levels = (64, 128, 192)
+    big: Dict[int, int] = {
+        n: r.failed_clients("insert")
+        for n, r in zip(big_levels, run_trials(
+            run_table_test,
+            [(n, 64.0, big_ops, seed + n) for n in big_levels],
+            jobs=jobs,
+        ))
+    }
     checks.check(
         "64 kB inserts: no timeouts at 64 clients (Sec. 3.2)",
         big[64] == 0, f"{big[64]} failed clients",

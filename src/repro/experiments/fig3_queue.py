@@ -3,22 +3,28 @@ queue-depth insensitivity claim of Section 3.3)."""
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import calibration as cal
 from repro.analysis import ShapeCheck, ascii_table
 from repro.experiments.report import ExperimentReport
+from repro.parallel import run_trials
 from repro.workloads.queue_bench import OPERATIONS, run_queue_test, sweep_queue
 
 TITLE = "Queue Add/Peek/Receive throughput vs concurrency"
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
+def run(
+    scale: float = 1.0, seed: int = 0, jobs: Optional[int] = 1
+) -> ExperimentReport:
     """Reproduce Fig. 3 at 512-byte messages; ``scale`` multiplies the
-    per-client operation count."""
+    per-client operation count; ``jobs`` fans independent trials across
+    worker processes."""
     ops_per_client = max(int(100 * scale), 15)
     levels = cal.CONCURRENCY_LEVELS
     results = {
         op: sweep_queue(op, levels=levels, message_kb=0.5,
-                        ops_per_client=ops_per_client, seed=seed)
+                        ops_per_client=ops_per_client, seed=seed, jobs=jobs)
         for op in OPERATIONS
     }
 
@@ -94,13 +100,11 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
 
     # Message-size insensitivity (Sec. 3.3: "the shape of the
     # performance curve for each message size is very similar").
-    small_msg = run_queue_test(
-        "add", 32, message_kb=0.5, ops_per_client=ops_per_client,
-        seed=seed + 601,
-    )
-    large_msg = run_queue_test(
-        "add", 32, message_kb=8.0, ops_per_client=ops_per_client,
-        seed=seed + 602,
+    small_msg, large_msg = run_trials(
+        run_queue_test,
+        [("add", 32, 0.5, ops_per_client, None, seed + 601),
+         ("add", 32, 8.0, ops_per_client, None, seed + 602)],
+        jobs=jobs,
     )
     size_ratio = large_msg.mean_client_ops / small_msg.mean_client_ops
     checks.check(
@@ -111,13 +115,11 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
 
     # Queue-depth insensitivity: 200k-message backlog vs 2M (scaled
     # down 10x; the model is O(log n) so depth only stresses the index).
-    shallow = run_queue_test(
-        "receive", 16, ops_per_client=ops_per_client,
-        prefill=20_000, seed=seed + 501,
-    )
-    deep = run_queue_test(
-        "receive", 16, ops_per_client=ops_per_client,
-        prefill=200_000, seed=seed + 502,
+    shallow, deep = run_trials(
+        run_queue_test,
+        [("receive", 16, 0.5, ops_per_client, 20_000, seed + 501),
+         ("receive", 16, 0.5, ops_per_client, 200_000, seed + 502)],
+        jobs=jobs,
     )
     ratio = deep.mean_client_ops / shallow.mean_client_ops
     checks.check(

@@ -2,17 +2,23 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.analysis import ShapeCheck, format_series
 from repro.experiments.report import ExperimentReport
+from repro.parallel import run_trials
 from repro.workloads.tcp_bench import run_tcp_test
 
 TITLE = "TCP internal-endpoint latency between paired small VMs"
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
-    """Reproduce Fig. 4; ``scale`` multiplies the 5,000-ping budget.
+def run(
+    scale: float = 1.0, seed: int = 0, jobs: Optional[int] = 1
+) -> ExperimentReport:
+    """Reproduce Fig. 4; ``scale`` multiplies the 5,000-ping budget;
+    ``jobs`` fans the deployments across worker processes.
 
     Samples pool over several deployments: which pairs land cross-rack
     is placement luck, and the paper's measurements accumulated over
@@ -22,11 +28,13 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
     samples = max(int(5000 * scale) // deployments, 200)
     grids = []
     raw = []
-    for i in range(deployments):
-        result = run_tcp_test(
-            latency_samples=samples, bandwidth_samples=10,
-            seed=seed + 31 * i,
-        )
+    trials = run_trials(
+        run_tcp_test,
+        [{"latency_samples": samples, "bandwidth_samples": 10,
+          "seed": seed + 31 * i} for i in range(deployments)],
+        jobs=jobs,
+    )
+    for result in trials:
         grids.append(result.latency_ms_grid())
         raw.extend(result.latency_s)
     import numpy as _np

@@ -7,28 +7,35 @@ likewise collected across many runs and days.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.analysis import ShapeCheck, format_series
 from repro.experiments.report import ExperimentReport
+from repro.parallel import run_trials
 from repro.workloads.tcp_bench import run_tcp_test
 
 TITLE = "TCP internal-endpoint bandwidth between paired small VMs"
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
+def run(
+    scale: float = 1.0, seed: int = 0, jobs: Optional[int] = 1
+) -> ExperimentReport:
     """Reproduce Fig. 5; ``scale`` multiplies the per-deployment sample
-    budget (each sample is a full simulated 2 GB transfer)."""
+    budget (each sample is a full simulated 2 GB transfer); ``jobs``
+    fans the deployments across worker processes."""
     per_deployment = max(int(120 * scale), 30)
     deployments = 6
     bandwidth = []
     cross = total = 0
-    for i in range(deployments):
-        result = run_tcp_test(
-            latency_samples=10,
-            bandwidth_samples=per_deployment,
-            seed=seed + 101 * i,
-        )
+    trials = run_trials(
+        run_tcp_test,
+        [{"latency_samples": 10, "bandwidth_samples": per_deployment,
+          "seed": seed + 101 * i} for i in range(deployments)],
+        jobs=jobs,
+    )
+    for result in trials:
         bandwidth.extend(result.bandwidth_mbps)
         cross += result.cross_rack_pairs
         total += result.total_pairs

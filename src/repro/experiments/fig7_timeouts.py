@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.analysis import ShapeCheck, format_series
@@ -13,8 +15,15 @@ from repro.modis.tasks import TaskOutcome
 TITLE = "Percent of task executions with VM timeout over time"
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
-    """Reproduce Fig. 7 over the Feb-Sep 2010 campaign window."""
+def run(
+    scale: float = 1.0, seed: int = 0, jobs: Optional[int] = 1
+) -> ExperimentReport:
+    """Reproduce Fig. 7 over the Feb-Sep 2010 campaign window.
+
+    ``jobs`` is accepted for registry uniformity but unused: the
+    campaign is one continuous simulation, not independent trials.
+    """
+    del jobs
     target = max(int(150_000 * scale), 8_000)
     app = ModisAzureApp(ModisConfig(seed=seed, target_executions=target))
     result = app.run()

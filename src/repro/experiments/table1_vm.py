@@ -3,6 +3,8 @@ Section 4.1 observations (1)-(6)."""
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import calibration as cal
 from repro.analysis import ShapeCheck, ascii_table
 from repro.experiments.report import ExperimentReport
@@ -13,10 +15,13 @@ TITLE = "Worker/web role VM request time per lifecycle phase"
 PHASES = ("create", "run", "add", "suspend", "delete")
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
-    """Reproduce Table 1; ``scale`` multiplies the 431-run campaign."""
+def run(
+    scale: float = 1.0, seed: int = 0, jobs: Optional[int] = 1
+) -> ExperimentReport:
+    """Reproduce Table 1; ``scale`` multiplies the 431-run campaign;
+    ``jobs`` fans lifecycle attempts across worker processes."""
     runs = max(int(cal.VM_CAMPAIGN_RUNS * scale), 48)
-    campaign = run_vm_campaign(runs=runs, seed=seed)
+    campaign = run_vm_campaign(runs=runs, seed=seed, jobs=jobs)
 
     rows = []
     for role in ("worker", "web"):

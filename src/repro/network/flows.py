@@ -175,9 +175,13 @@ class FlowNetwork:
         if generation != self._timer_generation:
             return  # stale timer from a superseded schedule
         self._advance_progress()
-        finished: List[Flow] = [
-            f for f in self.flows if f.remaining_mb <= _DONE_EPS
-        ]
+        # Sort by flow id: self.flows is a set, and the succeed() order
+        # below assigns event sequence numbers, which must not depend on
+        # object addresses when several flows finish simultaneously.
+        finished: List[Flow] = sorted(
+            (f for f in self.flows if f.remaining_mb <= _DONE_EPS),
+            key=lambda f: f.id,
+        )
         for flow in finished:
             self.flows.discard(flow)
             flow.remaining_mb = 0.0

@@ -1,0 +1,100 @@
+"""Parallel trial executor: fan independent simulations across processes.
+
+Every paper artifact is a sweep of *independent* trials — concurrency
+levels x seeds, repeated deployments, lifecycle attempts — and each
+trial builds its own :class:`~repro.simcore.Environment` and
+:class:`~repro.simcore.RandomStreams` from an explicit seed.  That makes
+the trials embarrassingly parallel: a worker process reconstructs a
+bit-identical simulation from ``(function, args)`` alone.
+
+:func:`run_trials` is the single entry point.  It preserves two
+guarantees the experiment layer relies on:
+
+* **Determinism** — results are returned in submission order, and each
+  trial's randomness derives only from its own seed (the kernel's
+  ``RandomStreams`` keys streams by SHA-256 of the name, independent of
+  process or creation order), so ``jobs=N`` output is bit-identical to
+  ``jobs=1``.
+* **Fallback** — ``jobs=1`` (or a single trial) runs everything in
+  process, no executor, no pickling: exactly the seed's serial path.
+
+Trial functions must be module-level (picklable by reference) and their
+arguments/results picklable — true of every bench runner and result
+dataclass in :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["auto_jobs", "resolve_jobs", "run_trials"]
+
+#: Cap on the auto default: sweeps have at most ~7 levels per call, and
+#: beyond this the per-process import cost dominates on small sweeps.
+_AUTO_JOBS_CAP = 8
+
+
+def auto_jobs() -> int:
+    """A sensible default worker count: usable cores, capped at 8."""
+    try:
+        n = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        n = os.cpu_count() or 1
+    return max(1, min(n, _AUTO_JOBS_CAP))
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Map a user-facing ``--jobs`` value to a concrete worker count.
+
+    ``None`` (or 0) means "auto"; anything else must be a positive int.
+    """
+    if jobs is None or jobs == 0:
+        return auto_jobs()
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (or None for auto), got {jobs}")
+    return jobs
+
+
+def _call(fn: Callable[..., Any], item: Any) -> Any:
+    if isinstance(item, dict):
+        return fn(**item)
+    return fn(*item)
+
+
+def _mp_context():
+    # fork is far cheaper than spawn (workers inherit the imported
+    # modules) and is available everywhere this project targets.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None  # pragma: no cover - non-fork platforms use the default
+
+
+def run_trials(
+    fn: Callable[..., Any],
+    items: Sequence[Any],
+    jobs: Optional[int] = 1,
+    description: str = "trial",
+) -> List[Any]:
+    """Run ``fn`` over ``items``, returning results in input order.
+
+    Each item is a tuple of positional arguments (or a dict of keyword
+    arguments) for one trial.  ``jobs=1`` runs serially in-process;
+    ``jobs=None`` picks :func:`auto_jobs`; ``jobs=N`` fans trials out to
+    ``N`` worker processes.  A trial that raises propagates its
+    exception to the caller either way (workers are shut down first).
+    """
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs == 1 or len(items) <= 1:
+        return [_call(fn, item) for item in items]
+    workers = min(n_jobs, len(items))
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_mp_context()
+    ) as pool:
+        futures = [pool.submit(_call, fn, item) for item in items]
+        # Collect in submission order so merged sweeps are deterministic
+        # regardless of which worker finishes first.
+        return [f.result() for f in futures]

@@ -1,0 +1,172 @@
+"""Machine-readable performance snapshots of the simulator itself.
+
+The churn workloads here are the canonical kernel micro-benchmarks —
+:mod:`benchmarks.test_bench_kernel` imports them so pytest-benchmark and
+the ``repro bench`` CLI measure exactly the same code.  ``repro bench
+--json OUT`` emits a snapshot (kernel events/sec plus per-experiment
+wall-clock at a fixed scale) so perf trajectories can be tracked across
+PRs in committed ``BENCH_*.json`` files.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+#: Scale/seed every snapshot uses for experiment wall-clocks, so numbers
+#: are comparable across snapshots.
+SNAPSHOT_SCALE = 0.1
+SNAPSHOT_SEED = 3
+
+
+# -- kernel churn workloads (shared with benchmarks/test_bench_kernel.py)
+def timeout_churn(n_processes: int = 100, ticks: int = 100) -> int:
+    """Ping-pong timeout scheduling: the pure event-loop hot path."""
+    from repro.simcore import Environment
+
+    env = Environment()
+    count = {"events": 0}
+
+    def ticker(env):
+        for _ in range(ticks):
+            yield env.timeout(1.0)
+            count["events"] += 1
+
+    for _ in range(n_processes):
+        env.process(ticker(env))
+    env.run()
+    return count["events"]
+
+
+def resource_churn(n_processes: int = 50, rounds: int = 20) -> int:
+    """Request/release cycling through a capacity-4 resource."""
+    from repro.simcore import Environment, Resource
+
+    env = Environment()
+    server = Resource(env, capacity=4)
+    count = {"ops": 0}
+
+    def client(env):
+        for _ in range(rounds):
+            with server.request() as req:
+                yield req
+                yield env.timeout(0.01)
+            count["ops"] += 1
+
+    for _ in range(n_processes):
+        env.process(client(env))
+    env.run()
+    return count["ops"]
+
+
+def race_churn(n_clients: int = 50, ops: int = 40) -> int:
+    """The client hot path: every op races a cancellable deadline."""
+    from repro.client.base import race_timeout
+    from repro.simcore import Environment
+
+    env = Environment()
+    count = {"ops": 0}
+
+    def op(env):
+        yield env.timeout(0.5)
+        return 1
+
+    def client(env):
+        for _ in range(ops):
+            yield from race_timeout(env, op(env), 30.0)
+            count["ops"] += 1
+
+    for _ in range(n_clients):
+        env.process(client(env))
+    env.run()
+    return count["ops"]
+
+
+def flow_churn(n_flows: int = 200) -> int:
+    """Fair-share reallocation on one link: the blob experiments' cost."""
+    from repro.network import FlowNetwork, Link
+    from repro.simcore import Environment
+
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 100.0)
+    done = {"n": 0}
+
+    def sender(env, size):
+        flow = net.transfer([link], size)
+        yield flow.done
+        done["n"] += 1
+
+    for i in range(n_flows):
+        env.process(sender(env, 1.0 + (i % 7)))
+    env.run()
+    return done["n"]
+
+
+def _best_rate(fn, *args, repeat: int = 5) -> float:
+    """Best-of-N operations/second (first call doubles as warm-up)."""
+    fn(*args)
+    best = float("inf")
+    n = 0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        n = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return n / best
+
+
+def kernel_snapshot(repeat: int = 5) -> Dict[str, float]:
+    """Events/ops per second for each kernel churn workload."""
+    return {
+        "timeout_churn_events_per_s": _best_rate(
+            timeout_churn, 100, 100, repeat=repeat
+        ),
+        "resource_churn_ops_per_s": _best_rate(
+            resource_churn, 50, 20, repeat=repeat
+        ),
+        "race_churn_ops_per_s": _best_rate(
+            race_churn, 50, 40, repeat=repeat
+        ),
+        "flow_churn_flows_per_s": _best_rate(
+            flow_churn, 200, repeat=repeat
+        ),
+    }
+
+
+def experiment_wallclock(
+    experiment_ids: Optional[Sequence[str]] = None,
+    scale: float = SNAPSHOT_SCALE,
+    seed: int = SNAPSHOT_SEED,
+    jobs: Optional[int] = 1,
+) -> Dict[str, float]:
+    """Wall-clock seconds per experiment at a fixed, comparable scale."""
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    ids: List[str] = list(experiment_ids or EXPERIMENTS)
+    clocks: Dict[str, float] = {}
+    for eid in ids:
+        t0 = time.perf_counter()
+        run_experiment(eid, scale=scale, seed=seed, jobs=jobs)
+        clocks[eid] = round(time.perf_counter() - t0, 3)
+    return clocks
+
+
+def collect_snapshot(
+    quick: bool = False,
+    jobs: Optional[int] = 1,
+    repeat: int = 5,
+) -> Dict[str, object]:
+    """The full ``repro bench`` payload.
+
+    ``quick`` skips the experiment wall-clocks (kernel numbers only) —
+    that is what the CI smoke job runs.
+    """
+    snapshot: Dict[str, object] = {
+        "scale": SNAPSHOT_SCALE,
+        "seed": SNAPSHOT_SEED,
+        "kernel": kernel_snapshot(repeat=repeat),
+    }
+    if not quick:
+        snapshot["experiment_wallclock_s"] = experiment_wallclock(jobs=jobs)
+        snapshot["jobs"] = jobs
+    return snapshot

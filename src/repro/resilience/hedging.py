@@ -83,9 +83,10 @@ def hedged_call(
     policy.calls += 1
     start = env.now
     primary = env.process(make_operation())
-    timer = env.timeout(policy.hedge_delay())
     try:
-        yield env.any_of([primary, timer])
+        # Race against a private cancellable deadline: when the primary
+        # wins, the hedge timer is discarded instead of fired dead.
+        yield env.race(primary, policy.hedge_delay())
     except Exception:
         # The primary failed before the hedge fired; surface it to the
         # retry layer unchanged.

@@ -26,6 +26,7 @@ from repro.simcore.events import (
     Event,
     Interrupt,
     InterruptedError_,
+    Race,
     Timeout,
 )
 from repro.simcore.process import Process
@@ -55,6 +56,7 @@ __all__ = [
     "InterruptedError_",
     "PriorityResource",
     "Process",
+    "Race",
     "RandomStreams",
     "Resource",
     "StopSimulation",

@@ -5,13 +5,22 @@ A process wraps a Python generator.  Each ``yield`` hands the kernel an
 fires, receiving the event's value (or its exception, re-raised).  A
 process is itself an event that fires with the generator's return value,
 so processes can wait on one another.
+
+``_resume`` is the single hottest Python frame in the simulator (one
+call per event a process waits on), so it caches the generator's
+``send``/``throw`` and the environment's ``_enqueue`` as locals and
+attaches its own pre-bound callback (``_resume_cb``) directly into the
+target event's callback slots instead of going through
+``add_callback`` — binding a method costs an allocation, and doing it
+once per process instead of once per yield measurably moves the kernel
+benchmarks.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.simcore.events import Event, Interrupt
+from repro.simcore.events import PENDING, Event, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simcore.engine import Environment
@@ -27,23 +36,20 @@ class _InterruptEvent(Event):
         self.process = process
         self._ok = False
         self._value = Interrupt(cause)
-        self.defuse()
+        self._defused = True
         self.env._enqueue(0.0, self)
-        self.callbacks.append(self._deliver)
+        self._cb1 = self._deliver  # fresh private event: set directly
 
     @staticmethod
     def _deliver(event: "Event") -> None:
         process = event.process  # type: ignore[attr-defined]
-        if process.triggered:
+        if process._value is not PENDING:
             return  # target already finished; interrupt is a no-op
         # Detach the process from whatever it was waiting on so the
         # original event's later firing does not resume it twice.
         target = process._waiting_on
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(process._resume)
-            except ValueError:
-                pass
+        if target is not None and not target._processed:
+            target.remove_callback(process._resume_cb)
         process._waiting_on = None
         process._resume(event)
 
@@ -56,7 +62,7 @@ class Process(Event):
     of ``env.run()``).
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_waiting_on", "_resume_cb", "name")
 
     def __init__(
         self,
@@ -69,13 +75,15 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # Bind the resume method exactly once; every wait re-uses it.
+        self._resume_cb = resume = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off at the current time via an initialisation event.
         start = Event(env)
         start._ok = True
         start._value = None
+        start._cb1 = resume
         env._enqueue(0.0, start)
-        start.add_callback(self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -96,23 +104,28 @@ class Process(Event):
         env = self.env
         prev, env._active_process = env._active_process, self
         self._waiting_on = None
+        generator = self._generator
+        send = generator.send
+        throw = generator.throw
+        enqueue = env._enqueue
+        resume_cb = self._resume_cb
         try:
             while True:
                 try:
-                    if event.ok:
-                        target = self._generator.send(event.value)
+                    if event._ok:
+                        target = send(event._value)
                     else:
-                        event.defuse()
-                        target = self._generator.throw(event.value)
+                        event._defused = True
+                        target = throw(event._value)
                 except StopIteration as stop:
                     self._ok = True
                     self._value = stop.value
-                    env._enqueue(0.0, self)
+                    enqueue(0.0, self)
                     return
                 except BaseException as exc:
                     self._ok = False
                     self._value = exc
-                    env._enqueue(0.0, self)
+                    enqueue(0.0, self)
                     return
 
                 if not isinstance(target, Event):
@@ -121,7 +134,7 @@ class Process(Event):
                     )
                     self._ok = False
                     self._value = exc
-                    env._enqueue(0.0, self)
+                    enqueue(0.0, self)
                     return
                 if target.env is not env:
                     exc = RuntimeError(
@@ -130,15 +143,31 @@ class Process(Event):
                     )
                     self._ok = False
                     self._value = exc
-                    env._enqueue(0.0, self)
+                    enqueue(0.0, self)
                     return
 
-                if target.callbacks is None:
+                if target._processed:
                     # Already processed — resume immediately with its value.
                     event = target
                     continue
+                if target._cancelled:
+                    # A cancelled event never fires; waiting on one would
+                    # hang the process silently.
+                    exc = RuntimeError(
+                        f"process {self.name!r} yielded a cancelled event"
+                    )
+                    self._ok = False
+                    self._value = exc
+                    enqueue(0.0, self)
+                    return
                 self._waiting_on = target
-                target.add_callback(self._resume)
+                # Inlined add_callback on the wait path.
+                if target._cb1 is None:
+                    target._cb1 = resume_cb
+                elif target._cbs is None:
+                    target._cbs = [resume_cb]
+                else:
+                    target._cbs.append(resume_cb)
                 return
         finally:
             env._active_process = prev

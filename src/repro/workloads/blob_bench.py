@@ -9,10 +9,11 @@ per-client bandwidth and the aggregate service-side throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro import calibration as cal
 from repro.client import BlobClient
+from repro.parallel import run_trials
 from repro.workloads.harness import Platform, build_platform
 
 
@@ -78,9 +79,17 @@ def sweep_blob(
     levels: Sequence[int] = cal.CONCURRENCY_LEVELS,
     size_mb: float = cal.BLOB_TEST_SIZE_MB,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[int, BlobBenchResult]:
-    """Fig. 1's full concurrency sweep for one direction."""
-    return {
-        n: run_blob_test(direction, n, size_mb=size_mb, seed=seed + n)
-        for n in levels
-    }
+    """Fig. 1's full concurrency sweep for one direction.
+
+    ``jobs`` fans the independent per-level trials across worker
+    processes (``1`` = in-process, ``None`` = auto); results are merged
+    in level order and are bit-identical for any jobs value.
+    """
+    results = run_trials(
+        run_blob_test,
+        [(direction, n, size_mb, seed + n) for n in levels],
+        jobs=jobs,
+    )
+    return dict(zip(levels, results))

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from repro import calibration as cal
 from repro.client import QueueClient
 from repro.client.retry import NO_RETRY
+from repro.parallel import run_trials
 from repro.storage.queue import QueueMessage
 from repro.workloads.harness import Platform, build_platform
 
@@ -120,12 +121,18 @@ def sweep_queue(
     message_kb: float = 0.5,
     ops_per_client: int = 100,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[int, QueueBenchResult]:
-    """Fig. 3's concurrency sweep for one operation."""
-    return {
-        n: run_queue_test(
-            operation, n, message_kb=message_kb,
-            ops_per_client=ops_per_client, seed=seed + n,
-        )
-        for n in levels
-    }
+    """Fig. 3's concurrency sweep for one operation.
+
+    ``jobs`` fans the independent per-level trials across worker
+    processes (``1`` = in-process, ``None`` = auto); results are merged
+    in level order and are bit-identical for any jobs value.
+    """
+    results = run_trials(
+        run_queue_test,
+        [(operation, n, message_kb, ops_per_client, None, seed + n)
+         for n in levels],
+        jobs=jobs,
+    )
+    return dict(zip(levels, results))

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from repro import calibration as cal
 from repro.client import TableClient
 from repro.client.retry import NO_RETRY
+from repro.parallel import run_trials
 from repro.storage.table import make_entity
 from repro.workloads.harness import Platform, build_platform
 
@@ -134,15 +135,20 @@ def sweep_table(
     entity_kb: float = 4.0,
     ops_per_client: Optional[Dict[str, int]] = None,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[int, TableBenchResult]:
-    """Fig. 2's concurrency sweep for one entity size."""
-    return {
-        n: run_table_test(
-            n, entity_kb=entity_kb, ops_per_client=ops_per_client,
-            seed=seed + n,
-        )
-        for n in levels
-    }
+    """Fig. 2's concurrency sweep for one entity size.
+
+    ``jobs`` fans the independent per-level trials across worker
+    processes (``1`` = in-process, ``None`` = auto); results are merged
+    in level order and are bit-identical for any jobs value.
+    """
+    results = run_trials(
+        run_table_test,
+        [(n, entity_kb, ops_per_client, seed + n) for n in levels],
+        jobs=jobs,
+    )
+    return dict(zip(levels, results))
 
 
 @dataclass

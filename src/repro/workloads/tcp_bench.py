@@ -100,7 +100,10 @@ def run_tcp_test(
             flow_size_mb=Distribution.lognormal_from_mean_std(400.0, 250.0),
         )
     for vm_a, vm_b in bandwidth_pairs:
-        for host in {vm_a.node.host, vm_b.node.host}:
+        # Deduplicate in pair order, NOT via a set: set iteration order
+        # follows object addresses, and the hosts share one RNG stream,
+        # so it would silently unseed which NIC gets which draws.
+        for host in dict.fromkeys((vm_a.node.host, vm_b.node.host)):
             BackgroundTraffic(
                 env, network, [host.nic_tx], bg_rng,
                 intensity=0.4, parallelism=1,

@@ -1,0 +1,92 @@
+"""Explicit ``run(until=...)`` / ``horizon`` interaction semantics.
+
+``until`` is either a time bound (number) or an event to wait for; a
+second time bound only makes sense alongside an event, so ``horizon``
+requires an Event ``until`` and the ambiguous combinations raise
+``TypeError`` instead of silently picking a winner.
+"""
+
+import pytest
+
+from repro.simcore import Environment
+
+
+def _fire_after(env, delay, value="done"):
+    def proc(env):
+        yield env.timeout(delay)
+        return value
+
+    return env.process(proc(env))
+
+
+def test_horizon_without_event_until_raises():
+    env = Environment()
+    with pytest.raises(TypeError, match="requires an Event"):
+        env.run(horizon=10.0)
+
+
+def test_horizon_with_numeric_until_raises():
+    env = Environment()
+    env.timeout(1.0)
+    with pytest.raises(TypeError, match="numeric 'until'"):
+        env.run(until=5.0, horizon=10.0)
+
+
+def test_horizon_in_the_past_raises():
+    env = Environment(initial_time=100.0)
+    proc = _fire_after(env, 1.0)
+    with pytest.raises(ValueError, match="in the past"):
+        env.run(until=proc, horizon=50.0)
+
+
+def test_event_wins_before_horizon_returns_value():
+    env = Environment()
+    proc = _fire_after(env, 3.0, value="won")
+    assert env.run(until=proc, horizon=10.0) == "won"
+    assert proc.processed
+    assert env.now == 3.0
+
+
+def test_horizon_wins_returns_none_and_event_still_pending():
+    env = Environment()
+    proc = _fire_after(env, 30.0)
+    assert env.run(until=proc, horizon=5.0) is None
+    assert not proc.processed
+    assert env.now == 5.0
+
+
+def test_horizon_win_detaches_stop_callback():
+    """After a horizon-bounded run gives up on its event, the event
+    firing later must not abort an unrelated run() call."""
+    env = Environment()
+    proc = _fire_after(env, 30.0)
+    assert env.run(until=proc, horizon=5.0) is None
+    # Run to exhaustion: proc fires at t=30 and must NOT raise
+    # StopSimulation into this (different) run call.
+    env.run()
+    assert proc.processed
+    assert env.now == 30.0
+
+
+def test_horizon_win_with_drained_queue_lands_on_horizon():
+    env = Environment()
+    stop = env.event()  # never triggered; nothing else scheduled
+    env.timeout(1.0)
+    assert env.run(until=stop, horizon=8.0) is None
+    assert env.now == 8.0
+
+
+def test_event_until_without_horizon_still_raises_when_starved():
+    env = Environment()
+    stop = env.event()
+    env.timeout(1.0)
+    with pytest.raises(RuntimeError, match="never triggered"):
+        env.run(until=stop)
+
+
+def test_already_processed_event_returns_immediately():
+    env = Environment()
+    proc = _fire_after(env, 1.0, value=7)
+    env.run()
+    assert env.run(until=proc, horizon=99.0) == 7
+    assert env.now == 1.0

@@ -1,0 +1,120 @@
+"""The parallel sweep executor: correctness and bit-identity.
+
+The contract under test is the one the CLI advertises: ``--jobs N``
+produces results *bit-identical* to the in-process serial path, for
+every workload family.  The determinism tests compare dataclass fields
+to full float precision (``==``, not approx) -- any drift between the
+fork and serial paths is a bug, not noise.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.parallel import auto_jobs, resolve_jobs, run_trials
+
+JOBS = 4
+
+
+def _square(x):
+    return x * x
+
+
+def _describe(a, b=0):
+    return (a, b)
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def test_run_trials_serial_matches_map():
+    assert run_trials(_square, [(i,) for i in range(6)], jobs=1) == [
+        0, 1, 4, 9, 16, 25,
+    ]
+
+
+def test_run_trials_parallel_preserves_submission_order():
+    items = [(i,) for i in range(11)]
+    assert run_trials(_square, items, jobs=JOBS) == run_trials(
+        _square, items, jobs=1
+    )
+
+
+def test_run_trials_dict_items_become_kwargs():
+    items = [{"a": 1, "b": 2}, {"a": 3}]
+    assert run_trials(_describe, items, jobs=1) == [(1, 2), (3, 0)]
+    assert run_trials(_describe, items, jobs=JOBS) == [(1, 2), (3, 0)]
+
+
+def test_run_trials_worker_exception_propagates():
+    with pytest.raises(ValueError, match="boom"):
+        run_trials(_boom, [(1,), (2,)], jobs=JOBS)
+
+
+def test_run_trials_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        run_trials(_square, [(1,)], jobs=-2)
+
+
+def test_auto_jobs_resolution():
+    assert auto_jobs() >= 1
+    assert resolve_jobs(None) == auto_jobs()
+    assert resolve_jobs(0) == auto_jobs()
+    assert resolve_jobs(3) == 3
+
+
+# -- bit-identity of the experiment workloads (the acceptance bar) ------
+
+def test_sweep_blob_parallel_bit_identical():
+    from repro.workloads.blob_bench import sweep_blob
+
+    serial = sweep_blob("download", levels=(1, 4, 8), size_mb=4.0,
+                        seed=11, jobs=1)
+    forked = sweep_blob("download", levels=(1, 4, 8), size_mb=4.0,
+                        seed=11, jobs=JOBS)
+    assert list(serial) == list(forked)
+    for level in serial:
+        assert dataclasses.asdict(serial[level]) == dataclasses.asdict(
+            forked[level]
+        )
+
+
+def test_sweep_table_parallel_bit_identical():
+    from repro.workloads.table_bench import sweep_table
+
+    ops = {"insert": 6, "query": 6, "update": 3, "delete": 6}
+    serial = sweep_table(levels=(1, 4), entity_kb=4.0,
+                         ops_per_client=ops, seed=5, jobs=1)
+    forked = sweep_table(levels=(1, 4), entity_kb=4.0,
+                         ops_per_client=ops, seed=5, jobs=JOBS)
+    assert list(serial) == list(forked)
+    for level in serial:
+        assert dataclasses.asdict(serial[level]) == dataclasses.asdict(
+            forked[level]
+        )
+
+
+def test_sweep_queue_parallel_bit_identical():
+    from repro.workloads.queue_bench import sweep_queue
+
+    serial = sweep_queue("add", levels=(1, 4), message_kb=0.5,
+                         ops_per_client=8, seed=9, jobs=1)
+    forked = sweep_queue("add", levels=(1, 4), message_kb=0.5,
+                         ops_per_client=8, seed=9, jobs=JOBS)
+    assert list(serial) == list(forked)
+    for level in serial:
+        assert dataclasses.asdict(serial[level]) == dataclasses.asdict(
+            forked[level]
+        )
+
+
+def test_vm_campaign_parallel_bit_identical():
+    from repro.workloads.vm_bench import run_vm_campaign
+
+    serial = run_vm_campaign(runs=6, seed=2, jobs=1)
+    forked = run_vm_campaign(runs=6, seed=2, jobs=JOBS)
+    assert serial.failed_runs == forked.failed_runs
+    assert [dataclasses.asdict(r) for r in serial.records] == [
+        dataclasses.asdict(r) for r in forked.records
+    ]

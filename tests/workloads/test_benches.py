@@ -106,3 +106,18 @@ def test_tcp_bench_collects_samples():
     assert result.total_pairs == 10
     assert all(0 < bw <= 126 for bw in result.bandwidth_mbps)
     assert all(0 < lat < 0.5 for lat in result.latency_s)
+
+
+def test_tcp_bench_stable_across_heap_layouts():
+    """Same seed must give bit-identical samples regardless of what the
+    process allocated before (regression: a host set comprehension made
+    background-traffic placement follow object addresses)."""
+    first = run_tcp_test(
+        latency_samples=8, bandwidth_samples=8, transfer_mb=200.0, seed=3
+    )
+    _perturb_heap = [object() for _ in range(50_000)]
+    second = run_tcp_test(
+        latency_samples=8, bandwidth_samples=8, transfer_mb=200.0, seed=3
+    )
+    assert first.latency_s == second.latency_s
+    assert first.bandwidth_mbps == second.bandwidth_mbps
