@@ -9,6 +9,7 @@ profiling side of the loop).
 """
 
 from repro.perfsnapshot import (
+    component_churn,
     flow_churn,
     race_churn,
     resource_churn,
@@ -33,7 +34,17 @@ def test_bench_kernel_timeout_race(benchmark):
 
 
 def test_bench_flow_reallocation(benchmark):
-    """Every start/finish reallocates all active flows: O(n) per event,
-    O(n^2) per batch -- the cost the blob experiments pay."""
+    """Every start/finish re-rates the affected component: the cost the
+    blob experiments pay (near-O(component) since the incremental
+    allocator; the whole link is one component here)."""
     done = benchmark(lambda: flow_churn(n_flows=200))
+    assert done == 200
+
+
+def test_bench_component_churn(benchmark):
+    """Churn confined to one component among 16: the incremental
+    allocator must not re-rate the idle components."""
+    done = benchmark(
+        lambda: component_churn(n_components=16, n_flows=25, churns=200)
+    )
     assert done == 200

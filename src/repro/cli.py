@@ -142,6 +142,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print("kernel throughput (best of repeated runs):")
     for key, value in kernel.items():
         print(f"  {key:32s} {value:>12,.0f}")
+    for name, ratios in snapshot.get("baseline_ratio", {}).items():
+        print(f"\nspeedup vs {name} (same-run / recorded):")
+        for key, ratio in ratios.items():
+            print(f"  {key:32s} {ratio:>11.2f}x")
     if "experiment_wallclock_s" in snapshot:
         print(f"\nexperiment wall-clock at scale={snapshot['scale']}, "
               f"seed={snapshot['seed']}, jobs={snapshot['jobs']}:")

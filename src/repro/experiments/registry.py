@@ -38,7 +38,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ),
         ExperimentSpec(
             "fig2", fig2_table.TITLE, "Figure 2",
-            fig2_table.run, "~40 s",
+            fig2_table.run, "~35 s",
         ),
         ExperimentSpec(
             "fig3", fig3_queue.TITLE, "Figure 3",
@@ -50,11 +50,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ),
         ExperimentSpec(
             "fig4", fig4_tcp_latency.TITLE, "Figure 4",
-            fig4_tcp_latency.run, "~8 s",
+            fig4_tcp_latency.run, "~1 s",
         ),
         ExperimentSpec(
             "fig5", fig5_tcp_bandwidth.TITLE, "Figure 5",
-            fig5_tcp_bandwidth.run, "~40 s",
+            fig5_tcp_bandwidth.run, "~10 s",
         ),
         ExperimentSpec(
             "table2", table2_tasks.TITLE, "Table 2",

@@ -13,7 +13,7 @@ at 100 Mbit/s by the hypervisor (Section 6.1).
 """
 
 from repro.network.links import Link
-from repro.network.fairshare import max_min_fair
+from repro.network.fairshare import FairShareState, max_min_fair
 from repro.network.flows import Flow, FlowNetwork
 from repro.network.topology import Datacenter, Host, Rack
 from repro.network.latency import LatencyModel
@@ -22,6 +22,7 @@ from repro.network.background import BackgroundTraffic
 __all__ = [
     "BackgroundTraffic",
     "Datacenter",
+    "FairShareState",
     "Flow",
     "FlowNetwork",
     "Host",

@@ -64,17 +64,24 @@ class BackgroundTraffic:
         if self.intensity <= 0.0:
             return
         env = self.env
+        rng = self.rng
+        transfer = self.network.transfer
+        links = self.links
+        cap = self.rate_cap_mbps
+        sample = self.flow_size_mb.sample
+        # Duty-cycle constants, hoisted with the same operation order so
+        # each idle draw stays bit-identical to the in-loop expression.
+        off_fraction = 1.0 - self.intensity
+        on_fraction = max(self.intensity, 1e-9)
         while True:
-            size = max(self.flow_size_mb.sample(self.rng), 1.0)
-            flow = self.network.transfer(
-                self.links, size, cap=self.rate_cap_mbps, label="background"
-            )
+            size = max(sample(rng), 1.0)
+            flow = transfer(links, size, cap=cap, label="background")
             self.flows_started += 1
             start = env.now
             yield flow.done
             busy = env.now - start
             # Calibrate idle period to the requested duty cycle; the busy
             # period's length already reflects contention.
-            idle_mean = busy * (1.0 - self.intensity) / max(self.intensity, 1e-9)
-            idle = float(self.rng.exponential(max(idle_mean, 1e-3)))
+            idle_mean = busy * off_fraction / on_fraction
+            idle = float(rng.exponential(max(idle_mean, 1e-3)))
             yield env.timeout(idle)

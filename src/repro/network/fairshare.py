@@ -5,12 +5,47 @@ rate cap, raise all unfrozen flows' rates at the same pace; whenever a
 link saturates (or a flow hits its cap) freeze the flows it constrains.
 The result is the unique max-min fair allocation: no flow's rate can be
 increased without decreasing that of a flow with an already-smaller rate.
+
+Two entry points share one solver:
+
+* :func:`max_min_fair` — the batch oracle: solve a complete flow set
+  from scratch.  Kept as the reference the property tests compare
+  against (via :func:`verify_allocation` and exact rate equality).
+* :class:`FairShareState` — the incremental engine
+  :class:`~repro.network.flows.FlowNetwork` runs on.  It keeps
+  persistent per-link flow membership; a mutation (arrival, removal,
+  cap change) dirties only the links it touches, and
+  :meth:`~FairShareState.recompute` re-solves just the connected
+  component(s) of links/flows reachable from the dirty set, reusing
+  the stored rates of untouched components.
+
+Bit-identity contract: the allocation is solved **per connected
+component**, and a component's rates are a pure function of that
+component's members, caps and link capacities.  The per-component
+solver accumulates one shared "water level" instead of per-flow
+allocations — every unfrozen flow's allocation in classic progressive
+filling equals the running sum of increments, so stamping the level at
+freeze time executes the *same float additions* the per-flow loop
+would.  Incremental and batch results are therefore bitwise equal by
+construction, and skipping an untouched component is exact, not
+approximate.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+from heapq import heapify as _heapify, heappop as _heappop
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.network.links import Link
 
@@ -19,11 +54,359 @@ FlowSpec = Tuple[Hashable, Sequence[Link], Optional[float]]
 #: Rates below this are treated as zero when checking saturation.
 _EPS = 1e-12
 
+_INF = math.inf
+
+
+class FairShareState:
+    """Incremental max-min fair allocator over a mutable flow set.
+
+    Flow ids may be any hashable (the transfer engine uses
+    :class:`~repro.network.flows.Flow` objects directly).  Rates live
+    in :attr:`rates` and are refreshed by :meth:`recompute`, which
+    returns the flows whose component was re-solved.
+    """
+
+    __slots__ = (
+        "rates", "_members", "_flow_links", "_flow_linkset", "_flow_caps",
+        "_blockers", "_dirty_flows", "_dirty_links",
+    )
+
+    def __init__(self) -> None:
+        #: flow id -> allocated rate (MB/s); valid after recompute().
+        self.rates: Dict[Hashable, float] = {}
+        #: link -> set of member flow ids (persistent membership).
+        self._members: Dict[Link, Set[Hashable]] = {}
+        #: flow id -> links exactly as registered (equality semantics).
+        self._flow_links: Dict[Hashable, Tuple[Link, ...]] = {}
+        #: flow id -> links deduplicated in order (traversal/counting).
+        self._flow_linkset: Dict[Hashable, Tuple[Link, ...]] = {}
+        #: flow id -> cap as float (math.inf = uncapped).
+        self._flow_caps: Dict[Hashable, float] = {}
+        #: link -> count of members that are multi-link or capped.  Zero
+        #: means the link is its own component with uncapped members —
+        #: the dominant shape under churn — solvable in one pass with no
+        #: traversal (see _solve_component's fast path).
+        self._blockers: Dict[Link, int] = {}
+        self._dirty_flows: Set[Hashable] = set()
+        self._dirty_links: Set[Link] = set()
+
+    # -- mutations ---------------------------------------------------------
+    def add_flow(
+        self,
+        fid: Hashable,
+        links: Sequence[Link],
+        cap: Optional[float],
+    ) -> None:
+        """Register a flow; its component is re-solved on recompute()."""
+        links = tuple(links)
+        if fid in self._flow_links:
+            if links != self._flow_links[fid]:
+                raise ValueError(f"duplicate flow id {fid!r}")
+            self.set_cap(fid, cap)
+            return
+        cap_f = _INF if cap is None else float(cap)
+        if cap_f < 0:
+            raise ValueError(f"flow {fid!r}: negative cap")
+        self._flow_links[fid] = links
+        linkset = tuple(dict.fromkeys(links))
+        self._flow_linkset[fid] = linkset
+        self._flow_caps[fid] = cap_f
+        blocker = len(linkset) > 1 or cap_f != _INF
+        members = self._members
+        blockers = self._blockers
+        for link in linkset:
+            group = members.get(link)
+            if group is None:
+                members[link] = {fid}
+                blockers[link] = 1 if blocker else 0
+            else:
+                group.add(fid)
+                if blocker:
+                    blockers[link] += 1
+        self._dirty_flows.add(fid)
+
+    def remove_flow(self, fid: Hashable) -> None:
+        """Drop a flow; the links it crossed are re-solved on recompute()."""
+        linkset = self._flow_linkset.pop(fid)
+        del self._flow_links[fid]
+        cap_f = self._flow_caps.pop(fid)
+        self.rates.pop(fid, None)
+        self._dirty_flows.discard(fid)
+        blocker = len(linkset) > 1 or cap_f != _INF
+        members = self._members
+        blockers = self._blockers
+        dirty_links = self._dirty_links
+        for link in linkset:
+            group = members[link]
+            group.discard(fid)
+            if group:
+                if blocker:
+                    blockers[link] -= 1
+                dirty_links.add(link)
+            else:
+                del members[link]
+                del blockers[link]
+                dirty_links.discard(link)
+
+    def set_cap(self, fid: Hashable, cap: Optional[float]) -> None:
+        """Update a flow's cap; no-op when the value is bit-unchanged."""
+        cap_f = _INF if cap is None else float(cap)
+        if cap_f < 0:
+            raise ValueError(f"flow {fid!r}: negative cap")
+        old = self._flow_caps[fid]
+        if cap_f != old:
+            self._flow_caps[fid] = cap_f
+            self._dirty_flows.add(fid)
+            linkset = self._flow_linkset[fid]
+            if len(linkset) <= 1 and (cap_f == _INF) != (old == _INF):
+                delta = -1 if cap_f == _INF else 1
+                blockers = self._blockers
+                for link in linkset:
+                    blockers[link] += delta
+
+    # -- solving -----------------------------------------------------------
+    def recompute(self) -> List[Hashable]:
+        """Re-solve every component touched since the last call.
+
+        Returns the flows whose component was re-solved (their
+        :attr:`rates` entries are fresh; all others are untouched).
+        """
+        if not self._dirty_flows and not self._dirty_links:
+            return []
+        affected: List[Hashable] = []
+        seen_flows: Set[Hashable] = set()
+        seen_links: Set[Link] = set()
+        flow_linkset = self._flow_linkset
+        for fid in self._dirty_flows:
+            linkset = flow_linkset.get(fid)
+            if linkset is None:
+                continue  # removed after being dirtied
+            # A solved component covers *all* links of each member, so a
+            # flow is covered iff its first link is (or, linkless, iff
+            # the flow itself was seen).
+            if linkset:
+                if linkset[0] in seen_links:
+                    continue
+            elif fid in seen_flows:
+                continue
+            self._solve_component(fid, seen_flows, seen_links, affected)
+        members = self._members
+        for link in self._dirty_links:
+            if link in seen_links:
+                continue
+            group = members.get(link)
+            if not group:
+                continue
+            self._solve_component(
+                next(iter(group)), seen_flows, seen_links, affected
+            )
+        self._dirty_flows.clear()
+        self._dirty_links.clear()
+        return affected
+
+    def recompute_all(self) -> None:
+        """Solve every component from scratch (the batch entry point)."""
+        self._dirty_flows.update(self._flow_links)
+        self.recompute()
+
+    # -- the component solver ---------------------------------------------
+    def _solve_component(
+        self,
+        seed: Hashable,
+        seen_flows: Set[Hashable],
+        seen_links: Set[Link],
+        affected: List[Hashable],
+    ) -> None:
+        """Collect the connected component containing ``seed`` and solve it."""
+        members = self._members
+        flow_linkset = self._flow_linkset
+        flow_caps = self._flow_caps
+        rates = self.rates
+
+        seed_links = flow_linkset[seed]
+        if len(seed_links) == 1:
+            link = seed_links[0]
+            if not self._blockers[link]:
+                # Every member is single-link and uncapped: the component
+                # is exactly this link's membership, one progressive-
+                # filling iteration saturates it, and the equal share is
+                # exact — stamp it without traversal or set building.
+                group = members[link]
+                capacity = link.capacity_mbps
+                share = capacity / len(group)
+                if capacity - share * len(group) <= _EPS * (
+                    capacity if capacity > 1.0 else 1.0
+                ):
+                    seen_links.add(link)
+                    affected.extend(group)
+                    for fid in group:
+                        rates[fid] = share
+                    return
+
+        comp_flows: List[Hashable] = [seed]
+        seen_flows.add(seed)
+        comp_links: List[Link] = []
+        # BFS over the flow/link bipartite graph; comp_flows doubles as
+        # the traversal queue.
+        i = 0
+        while i < len(comp_flows):
+            fid = comp_flows[i]
+            i += 1
+            for link in flow_linkset[fid]:
+                if link not in seen_links:
+                    seen_links.add(link)
+                    comp_links.append(link)
+                    for other in members[link]:
+                        if other not in seen_flows:
+                            seen_flows.add(other)
+                            comp_flows.append(other)
+        affected.extend(comp_flows)
+
+        # Active = flows that can take rate at all; others are inert.
+        active: Set[Hashable] = set()
+        min_cap = _INF
+        for fid in comp_flows:
+            cap = flow_caps[fid]
+            if cap > _EPS:
+                active.add(fid)
+                if cap < min_cap:
+                    min_cap = cap
+            else:
+                rates[fid] = 0.0
+        if not active:
+            return
+
+        if len(comp_links) == 1:
+            link = comp_links[0]
+            capacity = link.capacity_mbps
+            n = len(active)
+            share = capacity / n
+            if share <= min_cap:
+                # One progressive-filling iteration: the link saturates
+                # (or ties with the smallest cap) and freezes everyone.
+                # Guard the exactness condition rather than assume it.
+                if capacity - share * n <= _EPS * (
+                    capacity if capacity > 1.0 else 1.0
+                ):
+                    for fid in active:
+                        rates[fid] = share
+                    return
+            else:
+                uniform = True
+                for fid in active:
+                    if flow_caps[fid] != min_cap:
+                        uniform = False
+                        break
+                if uniform:
+                    # One iteration again: every flow cap-freezes at the
+                    # same level (0.0 + min_cap == min_cap exactly).
+                    for fid in active:
+                        rates[fid] = min_cap
+                    return
+        self._fill(comp_flows, comp_links, active)
+
+    def _fill(
+        self,
+        comp_flows: List[Hashable],
+        comp_links: List[Link],
+        active: Set[Hashable],
+    ) -> None:
+        """Progressive filling via a shared water level.
+
+        Replicates the classic per-flow loop bit-for-bit: every active
+        flow's allocation is the same running sum of increments, so one
+        ``level`` accumulator stands in for all of them and is stamped
+        onto flows as they freeze.
+        """
+        members = self._members
+        flow_linkset = self._flow_linkset
+        flow_caps = self._flow_caps
+        rates = self.rates
+
+        remaining: Dict[Link, float] = {}
+        n_active: Dict[Link, int] = {}
+        for link in comp_links:
+            remaining[link] = link.capacity_mbps
+            n = 0
+            for fid in members[link]:
+                if fid in active:
+                    n += 1
+            n_active[link] = n
+
+        # Lazy min-heap of finite caps; stale entries (flows frozen by a
+        # link) are discarded at pop time.
+        cap_heap: List[Tuple[float, int, Hashable]] = [
+            (flow_caps[fid], idx, fid)
+            for idx, fid in enumerate(comp_flows)
+            if fid in active and flow_caps[fid] != _INF
+        ]
+        _heapify(cap_heap)
+
+        level = 0.0
+        while active:
+            while cap_heap and cap_heap[0][2] not in active:
+                _heappop(cap_heap)
+            increment = _INF
+            for link, cap_left in remaining.items():
+                n = n_active[link]
+                if n:
+                    slack = cap_left / n
+                    if slack < increment:
+                        increment = slack
+            if cap_heap:
+                cap_slack = cap_heap[0][0] - level
+                if cap_slack < increment:
+                    increment = cap_slack
+
+            if math.isinf(increment):
+                # No link constrains the remaining flows and they are
+                # uncapped; this cannot happen for flows crossing links.
+                for fid in active:
+                    if not flow_linkset[fid]:
+                        raise ValueError(
+                            f"flow {fid!r} has no links and no cap; "
+                            "rate unbounded"
+                        )
+                raise AssertionError("unbounded increment with linked flows")
+
+            level = level + increment
+            for link in remaining:
+                n = n_active[link]
+                if n:
+                    remaining[link] -= increment * n
+
+            # Freeze flows on saturated links and flows at their cap.
+            frozen: Set[Hashable] = set()
+            for link, cap_left in remaining.items():
+                capacity = link.capacity_mbps
+                if cap_left <= _EPS * (capacity if capacity > 1.0 else 1.0):
+                    for fid in members[link]:
+                        if fid in active:
+                            frozen.add(fid)
+            while cap_heap:
+                cap, _, fid = cap_heap[0]
+                if fid not in active:
+                    _heappop(cap_heap)
+                elif level >= cap - _EPS:
+                    _heappop(cap_heap)
+                    frozen.add(fid)
+                else:
+                    break
+            if not frozen:
+                # Numerical guard: freeze everything rather than loop
+                # forever.
+                frozen = set(active)
+            for fid in frozen:
+                rates[fid] = level
+                for link in flow_linkset[fid]:
+                    n_active[link] -= 1
+            active -= frozen
+
 
 def max_min_fair(
     flows: Iterable[FlowSpec],
 ) -> Dict[Hashable, float]:
-    """Compute the max-min fair rate for every flow.
+    """Compute the max-min fair rate for every flow (batch oracle).
 
     Parameters
     ----------
@@ -36,73 +419,11 @@ def max_min_fair(
     -------
     dict mapping flow_id -> allocated rate (MB/s).
     """
-    specs = list(flows)
-    alloc: Dict[Hashable, float] = {fid: 0.0 for fid, _, _ in specs}
-    if not specs:
-        return alloc
-
-    flow_links: Dict[Hashable, Tuple[Link, ...]] = {}
-    flow_caps: Dict[Hashable, float] = {}
-    for fid, links, cap in specs:
-        if fid in flow_links and tuple(links) != flow_links[fid]:
-            raise ValueError(f"duplicate flow id {fid!r}")
-        flow_links[fid] = tuple(links)
-        flow_caps[fid] = math.inf if cap is None else float(cap)
-        if flow_caps[fid] < 0:
-            raise ValueError(f"flow {fid!r}: negative cap")
-
-    remaining: Dict[Link, float] = {}
-    link_flows: Dict[Link, set] = {}
-    for fid, links in flow_links.items():
-        for link in links:
-            remaining.setdefault(link, link.capacity_mbps)
-            link_flows.setdefault(link, set()).add(fid)
-
-    active = {fid for fid in flow_links if flow_caps[fid] > _EPS}
-    for fid in flow_links:
-        if fid not in active:
-            alloc[fid] = 0.0
-
-    while active:
-        # Largest uniform increment every active flow can still take.
-        increment = math.inf
-        for link, cap_left in remaining.items():
-            n = sum(1 for fid in link_flows[link] if fid in active)
-            if n:
-                increment = min(increment, cap_left / n)
-        for fid in active:
-            increment = min(increment, flow_caps[fid] - alloc[fid])
-
-        if math.isinf(increment):
-            # No link constrains the remaining flows and they are uncapped;
-            # this cannot happen for flows that cross >= 1 link.
-            for fid in active:
-                if not flow_links[fid]:
-                    raise ValueError(
-                        f"flow {fid!r} has no links and no cap; rate unbounded"
-                    )
-            raise AssertionError("unbounded increment with linked flows")
-
-        for fid in active:
-            alloc[fid] += increment
-        for link in remaining:
-            n = sum(1 for fid in link_flows[link] if fid in active)
-            remaining[link] -= increment * n
-
-        # Freeze flows on saturated links and flows that reached their cap.
-        frozen = set()
-        for link, cap_left in remaining.items():
-            if cap_left <= _EPS * max(1.0, link.capacity_mbps):
-                frozen |= link_flows[link] & active
-        for fid in active:
-            if alloc[fid] >= flow_caps[fid] - _EPS:
-                frozen.add(fid)
-        if not frozen:
-            # Numerical guard: freeze everything rather than loop forever.
-            frozen = set(active)
-        active -= frozen
-
-    return alloc
+    state = FairShareState()
+    for fid, links, cap in flows:
+        state.add_flow(fid, links, cap)
+    state.recompute_all()
+    return dict(state.rates)
 
 
 def verify_allocation(

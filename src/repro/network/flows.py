@@ -4,15 +4,27 @@
 changes, recomputes the max-min fair allocation and the next completion
 instant.  Each flow's completion event fires exactly when its bytes are
 drained at the prevailing (piecewise-constant) rates.
+
+The allocation runs on an incremental
+:class:`~repro.network.fairshare.FairShareState`: per-link flow
+membership persists across churn, and only the connected component of
+links/flows touched by an arrival, completion, abort, or cap change is
+re-solved — untouched components keep their rates.  Completion timers
+use the kernel's cancellable events: a superseded timer is
+:meth:`~repro.simcore.Event.cancel`-led and the scheduler discards it at
+pop time, instead of the timer firing as a stale-generation no-op.
+Both changes are bit-neutral: rates, completion instants, and event
+sequence numbers are identical to the batch engine they replaced (the
+golden-output tests pin this).
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.network.fairshare import max_min_fair
+from repro.network.fairshare import FairShareState
 from repro.network.links import Link
 from repro.simcore import Environment, Event
 
@@ -28,6 +40,7 @@ class Flow:
     __slots__ = (
         "id", "links", "cap", "size_mb", "remaining_mb",
         "rate_mbps", "start_time", "done", "label",
+        "_cap_key", "_eff_cap",
     )
 
     def __init__(
@@ -47,6 +60,10 @@ class Flow:
         self.start_time = env.now
         self.done: Event = env.event()
         self.label = label
+        #: Memo for the effective (hook-derived) cap, keyed by
+        #: (cap-epoch, active-flow count) — see FlowNetwork._reschedule.
+        self._cap_key: Optional[Tuple[int, int]] = None
+        self._eff_cap: Optional[float] = None
 
     def __repr__(self) -> str:
         return (
@@ -67,19 +84,25 @@ class FlowNetwork:
 
     ``dynamic_cap`` hooks allow services to impose a per-flow ceiling
     that depends on current concurrency (the storage front-end curves).
+    Hook results are memoized per (cap-epoch, concurrency); call
+    :meth:`poke` after a hook's inputs change so the epoch advances.
     """
 
     def __init__(self, env: Environment) -> None:
         self.env = env
         self.flows: Set[Flow] = set()
+        self._state = FairShareState()
         self._last_update = env.now
         self._timer: Optional[Event] = None
-        self._timer_generation = 0
         self.completed_count = 0
         #: Per-flow cap hooks ``(flow, n_active) -> cap_or_None``; the
         #: effective cap is the min over all non-None results (services
         #: use these to impose concurrency-dependent front-end ceilings).
         self._cap_hooks: List[Callable[[Flow, int], Optional[float]]] = []
+        #: Bumped whenever hook outputs may have changed for reasons
+        #: other than concurrency (poke(), a new hook); invalidates the
+        #: per-flow effective-cap memo.
+        self._cap_epoch = 0
 
     # -- public API --------------------------------------------------------
     def transfer(
@@ -98,6 +121,7 @@ class FlowNetwork:
         self._advance_progress()
         flow = Flow(self.env, links, size_mb, cap, label)
         self.flows.add(flow)
+        self._state.add_flow(flow, flow.links, cap)
         self._reschedule()
         return flow
 
@@ -106,6 +130,7 @@ class FlowNetwork:
         if flow in self.flows:
             self._advance_progress()
             self.flows.discard(flow)
+            self._state.remove_flow(flow)
             self._reschedule()
 
     @property
@@ -120,11 +145,17 @@ class FlowNetwork:
     ) -> None:
         """Register a dynamic per-flow rate-cap hook."""
         self._cap_hooks.append(hook)
+        self._cap_epoch += 1
+        if not self.flows:
+            return  # nothing to re-rate; no timer to churn
         self._advance_progress()
         self._reschedule()
 
     def poke(self) -> None:
         """Force a rate recomputation (call after hook inputs change)."""
+        self._cap_epoch += 1
+        if not self.flows:
+            return
         self._advance_progress()
         self._reschedule()
 
@@ -146,44 +177,65 @@ class FlowNetwork:
         return cap
 
     def _reschedule(self) -> None:
-        """Recompute rates and arm a timer for the next completion."""
-        self._timer_generation += 1
+        """Recompute affected rates and arm a timer for the next completion."""
+        timer = self._timer
+        if timer is not None:
+            if not timer._processed:
+                timer.cancel()
+            self._timer = None
         if not self.flows:
             return
-        n = len(self.flows)
-        specs = [
-            (flow, flow.links, self._effective_cap(flow, n))
-            for flow in self.flows
-        ]
-        alloc = max_min_fair(specs)
+        state = self._state
+        if self._cap_hooks:
+            key = (self._cap_epoch, len(self.flows))
+            n = key[1]
+            for flow in self.flows:
+                if flow._cap_key != key:
+                    flow._cap_key = key
+                    flow._eff_cap = self._effective_cap(flow, n)
+                state.set_cap(flow, flow._eff_cap)
+        for flow in state.recompute():
+            flow.rate_mbps = state.rates[flow]
         next_done = math.inf
         for flow in self.flows:
-            flow.rate_mbps = alloc[flow]
-            if flow.rate_mbps > 0:
-                next_done = min(
-                    next_done, flow.remaining_mb / flow.rate_mbps
-                )
+            rate = flow.rate_mbps
+            if rate > 0:
+                projected = flow.remaining_mb / rate
+                if projected < next_done:
+                    next_done = projected
         if math.isinf(next_done):
             # Every flow starved (all rates zero): nothing to schedule;
             # a future transfer()/abort() will recompute.
             return
-        generation = self._timer_generation
         timer = self.env.timeout(max(next_done, 0.0))
-        timer.add_callback(lambda _ev: self._on_timer(generation))
+        timer._cb1 = self._on_timer  # fresh private event: set directly
+        self._timer = timer
 
-    def _on_timer(self, generation: int) -> None:
-        if generation != self._timer_generation:
-            return  # stale timer from a superseded schedule
-        self._advance_progress()
+    def _on_timer(self, _timer: Event) -> None:
+        # Fused drain + finish detection: one pass updates every flow's
+        # residual for the elapsed interval and collects the finished.
+        now = self.env.now
+        elapsed = now - self._last_update
+        finished: List[Flow] = []
+        if elapsed > 0:
+            for flow in self.flows:
+                remaining = flow.remaining_mb - flow.rate_mbps * elapsed
+                flow.remaining_mb = remaining
+                if remaining <= _DONE_EPS:
+                    finished.append(flow)
+        else:
+            for flow in self.flows:
+                if flow.remaining_mb <= _DONE_EPS:
+                    finished.append(flow)
+        self._last_update = now
         # Sort by flow id: self.flows is a set, and the succeed() order
         # below assigns event sequence numbers, which must not depend on
         # object addresses when several flows finish simultaneously.
-        finished: List[Flow] = sorted(
-            (f for f in self.flows if f.remaining_mb <= _DONE_EPS),
-            key=lambda f: f.id,
-        )
+        finished.sort(key=lambda f: f.id)
+        state = self._state
         for flow in finished:
             self.flows.discard(flow)
+            state.remove_flow(flow)
             flow.remaining_mb = 0.0
             self.completed_count += 1
             flow.done.succeed(flow)

@@ -10,13 +10,19 @@ PRs in committed ``BENCH_*.json`` files.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 #: Scale/seed every snapshot uses for experiment wall-clocks, so numbers
 #: are comparable across snapshots.
 SNAPSHOT_SCALE = 0.1
 SNAPSHOT_SEED = 3
+
+#: The committed perf-trajectory file at the repo root (absent when the
+#: package is installed outside the repo).
+BENCH_FILE = Path(__file__).resolve().parents[2] / "BENCH_KERNEL.json"
 
 
 # -- kernel churn workloads (shared with benchmarks/test_bench_kernel.py)
@@ -103,6 +109,38 @@ def flow_churn(n_flows: int = 200) -> int:
     return done["n"]
 
 
+def component_churn(
+    n_components: int = 16, n_flows: int = 25, churns: int = 200
+) -> int:
+    """Churn confined to one component among many.
+
+    Every link carries a population of long-lived flows; one short flow
+    at a time churns through the first link only.  The incremental
+    allocator re-solves just that link's component, so the per-churn
+    cost must not scale with the number of idle components.
+    """
+    from repro.network import FlowNetwork, Link
+    from repro.simcore import Environment
+
+    env = Environment()
+    net = FlowNetwork(env)
+    links = [Link(f"l{i}", 100.0) for i in range(n_components)]
+    for link in links:
+        for _ in range(n_flows):
+            net.transfer([link], 1e9)
+    done = {"n": 0}
+
+    def churner(env):
+        for _ in range(churns):
+            flow = net.transfer([links[0]], 1.0)
+            yield flow.done
+            done["n"] += 1
+
+    env.process(churner(env))
+    env.run(until=1e6)  # long before any background flow drains
+    return done["n"]
+
+
 def _best_rate(fn, *args, repeat: int = 5) -> float:
     """Best-of-N operations/second (first call doubles as warm-up)."""
     fn(*args)
@@ -130,6 +168,9 @@ def kernel_snapshot(repeat: int = 5) -> Dict[str, float]:
         "flow_churn_flows_per_s": _best_rate(
             flow_churn, 200, repeat=repeat
         ),
+        "component_churn_ops_per_s": _best_rate(
+            component_churn, 16, 25, 200, repeat=repeat
+        ),
     }
 
 
@@ -151,6 +192,38 @@ def experiment_wallclock(
     return clocks
 
 
+def baseline_ratios(
+    kernel: Dict[str, float],
+    bench_path: Optional[Path] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Measured/baseline ratio per kernel metric, per ``baseline_*`` block.
+
+    Reads the committed ``BENCH_KERNEL.json`` and, for every top-level
+    block whose name starts with ``baseline_``, divides the measured
+    rate by the recorded one (>1 means faster than that baseline).
+    Metrics absent from a baseline are skipped; returns ``{}`` when the
+    trajectory file is missing entirely.
+    """
+    path = bench_path if bench_path is not None else BENCH_FILE
+    try:
+        trajectory = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return {}
+    out: Dict[str, Dict[str, float]] = {}
+    for name, block in trajectory.items():
+        if not name.startswith("baseline_") or not isinstance(block, dict):
+            continue
+        recorded = block.get("kernel") or {}
+        ratios = {
+            key: round(kernel[key] / value, 3)
+            for key, value in recorded.items()
+            if key in kernel and value
+        }
+        if ratios:
+            out[name] = ratios
+    return out
+
+
 def collect_snapshot(
     quick: bool = False,
     jobs: Optional[int] = 1,
@@ -161,11 +234,15 @@ def collect_snapshot(
     ``quick`` skips the experiment wall-clocks (kernel numbers only) —
     that is what the CI smoke job runs.
     """
+    kernel = kernel_snapshot(repeat=repeat)
     snapshot: Dict[str, object] = {
         "scale": SNAPSHOT_SCALE,
         "seed": SNAPSHOT_SEED,
-        "kernel": kernel_snapshot(repeat=repeat),
+        "kernel": kernel,
     }
+    ratios = baseline_ratios(kernel)
+    if ratios:
+        snapshot["baseline_ratio"] = ratios
     if not quick:
         snapshot["experiment_wallclock_s"] = experiment_wallclock(jobs=jobs)
         snapshot["jobs"] = jobs

@@ -107,6 +107,11 @@ class BlobService:
         self._upload_links: Dict[str, Link] = {}
         self._download_conns: Dict[Link, int] = {}
         self._upload_conns: Dict[Link, int] = {}
+        # The service curves are pure functions of the connection count;
+        # memoizing per n keeps the pow() out of the cap-hook hot path
+        # (the hook runs for every flow on every front-end recompute).
+        self._download_curve: Dict[int, float] = {}
+        self._upload_curve: Dict[int, float] = {}
         #: Staged (uncommitted) block-blob blocks: (container, name) ->
         #: {block_id: size_mb}.
         self._staged: Dict[Tuple[str, str], Dict[str, float]] = {}
@@ -147,17 +152,25 @@ class BlobService:
         for link in flow.links:
             if link in self._download_conns:
                 n = max(self._download_conns[link], 1)
-                curve = (
-                    cal.BLOB_DOWNLOAD_FRONTEND_A_MBPS
-                    * n ** -cal.BLOB_DOWNLOAD_FRONTEND_GAMMA
-                )
-                return min(cal.BLOB_PER_CLIENT_CAP_MBPS, curve)
+                cap = self._download_curve.get(n)
+                if cap is None:
+                    curve = (
+                        cal.BLOB_DOWNLOAD_FRONTEND_A_MBPS
+                        * n ** -cal.BLOB_DOWNLOAD_FRONTEND_GAMMA
+                    )
+                    cap = min(cal.BLOB_PER_CLIENT_CAP_MBPS, curve)
+                    self._download_curve[n] = cap
+                return cap
             if link in self._upload_conns:
                 n = max(self._upload_conns[link], 1)
-                return (
-                    cal.BLOB_UPLOAD_FRONTEND_A_MBPS
-                    * n ** -cal.BLOB_UPLOAD_FRONTEND_GAMMA
-                )
+                cap = self._upload_curve.get(n)
+                if cap is None:
+                    cap = (
+                        cal.BLOB_UPLOAD_FRONTEND_A_MBPS
+                        * n ** -cal.BLOB_UPLOAD_FRONTEND_GAMMA
+                    )
+                    self._upload_curve[n] = cap
+                return cap
         return None
 
     # -- administrative -------------------------------------------------------

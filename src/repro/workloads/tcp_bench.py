@@ -91,6 +91,11 @@ def run_tcp_test(
 
     # Background load: heavy elephants on every rack uplink (the
     # oversubscribed layer), light neighbours on each measured host NIC.
+    # Each rack's uplink population is an independent fair-share
+    # component while no measured flow crosses it, so the incremental
+    # allocator re-rates one rack's 22 elephants per background churn
+    # instead of every flow in the datacenter — the dominant cost of
+    # this bench before fairshare.FairShareState existed.
     bg_rng = streams.stream("tcp.background")
     for rack in datacenter.racks:
         BackgroundTraffic(

@@ -1,0 +1,37 @@
+"""Byte-for-byte pinning of experiment outputs.
+
+The committed digests were recorded *before* the incremental fair-share
+engine landed; these tests prove the new engine reproduces the batch
+engine's outputs exactly — same rates, same completion order, same RNG
+trajectory — down to the last float bit.  Any intentional output change
+must regenerate the file via ``tools/record_goldens.py`` and say so in
+the commit.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import (
+    GOLDEN_SCALE,
+    GOLDEN_SEED,
+    collect_digests,
+)
+
+_GOLDEN_FILE = Path(__file__).parent / "golden_digests.json"
+_GOLDEN = json.loads(_GOLDEN_FILE.read_text())
+
+
+def test_golden_file_matches_pinned_scale_seed():
+    assert _GOLDEN["scale"] == GOLDEN_SCALE
+    assert _GOLDEN["seed"] == GOLDEN_SEED
+
+
+@pytest.mark.parametrize("experiment_id", sorted(_GOLDEN["digests"]))
+def test_experiment_output_bit_identical(experiment_id):
+    digest = collect_digests([experiment_id])[experiment_id]
+    assert digest == _GOLDEN["digests"][experiment_id], (
+        f"{experiment_id} output diverged from the pre-incremental-"
+        f"engine golden digest (scale={GOLDEN_SCALE}, seed={GOLDEN_SEED})"
+    )

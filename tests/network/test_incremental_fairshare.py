@@ -1,0 +1,203 @@
+"""The incremental allocator vs the batch oracle, plus timer hygiene.
+
+The contract under test is *exact* (bitwise) agreement: after any
+sequence of arrivals, removals, and cap changes, ``FairShareState``
+must produce float-for-float the same rates as a from-scratch
+``max_min_fair`` over the surviving flow set — that is what makes the
+engine swap invisible to the golden experiment outputs.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.network import FairShareState, FlowNetwork, Link, max_min_fair
+from repro.network.fairshare import verify_allocation
+from repro.simcore import Environment
+
+
+# -- property test: randomized mutation sequences -------------------------
+
+def _random_topology(rng):
+    """A pool of links with varied capacities (several natural
+    components once flows pick disjoint subsets)."""
+    n_links = rng.randint(1, 8)
+    return [
+        Link(f"l{i}", rng.choice([10.0, 40.0, 100.0, 125.0, 500.0]))
+        for i in range(n_links)
+    ]
+
+
+def _random_cap(rng):
+    return rng.choice(
+        [None, None, None, 12.5, 40.0, rng.uniform(0.5, 200.0), 0.0]
+    )
+
+
+def _check_exact(state, specs):
+    state.recompute()
+    expected = max_min_fair(specs.values())
+    assert state.rates == expected, (
+        "incremental allocation diverged from batch oracle"
+    )
+    verify_allocation(specs.values(), state.rates)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 17])
+def test_incremental_matches_batch_after_every_mutation(seed):
+    rng = random.Random(seed)
+    links = _random_topology(rng)
+    state = FairShareState()
+    specs = {}  # fid -> (fid, links, cap), the batch oracle's input
+    next_fid = 0
+
+    for _ in range(120):
+        roll = rng.random()
+        if not specs or roll < 0.55:
+            # arrival: random path over the link pool (or linkless+cap)
+            if rng.random() < 0.1:
+                path, cap = (), rng.uniform(0.5, 50.0)
+            else:
+                path = tuple(
+                    rng.sample(links, rng.randint(1, min(3, len(links))))
+                )
+                cap = _random_cap(rng)
+            fid = f"f{next_fid}"
+            next_fid += 1
+            specs[fid] = (fid, path, cap)
+            state.add_flow(fid, path, cap)
+        elif roll < 0.8:
+            fid = rng.choice(sorted(specs))
+            del specs[fid]
+            state.remove_flow(fid)
+        else:
+            fid = rng.choice(sorted(specs))
+            old = specs[fid]
+            cap = _random_cap(rng)
+            if not old[1] and cap is None:
+                cap = rng.uniform(0.5, 50.0)  # linkless + uncapped: unbounded
+            specs[fid] = (fid, old[1], cap)
+            state.set_cap(fid, cap)
+        _check_exact(state, specs)
+
+
+@pytest.mark.parametrize("seed", [5, 11])
+def test_incremental_matches_batch_shared_links(seed):
+    """Heavily shared small topologies: one big component, lots of
+    freeze interleavings."""
+    rng = random.Random(seed)
+    links = [Link("a", 100.0), Link("b", 40.0)]
+    state = FairShareState()
+    specs = {}
+    for i in range(60):
+        fid = f"f{i}"
+        path = tuple(rng.sample(links, rng.randint(1, 2)))
+        cap = _random_cap(rng)
+        specs[fid] = (fid, path, cap)
+        state.add_flow(fid, path, cap)
+        if specs and rng.random() < 0.3:
+            victim = rng.choice(sorted(specs))
+            del specs[victim]
+            state.remove_flow(victim)
+        _check_exact(state, specs)
+
+
+def test_untouched_component_rates_are_reused():
+    """Mutating one component must not re-solve (nor perturb) another."""
+    state = FairShareState()
+    a, b = Link("a", 100.0), Link("b", 100.0)
+    state.add_flow("a1", (a,), None)
+    state.add_flow("a2", (a,), 30.0)
+    state.add_flow("b1", (b,), None)
+    state.recompute()
+    before = {fid: state.rates[fid] for fid in ("a1", "a2")}
+
+    state.add_flow("b2", (b,), None)
+    affected = state.recompute()
+    assert set(affected) == {"b1", "b2"}
+    assert {fid: state.rates[fid] for fid in ("a1", "a2")} == before
+
+
+def test_component_merge_and_split():
+    """A multi-link flow joins two components; removing it splits them."""
+    a, b = Link("a", 100.0), Link("b", 10.0)
+    state = FairShareState()
+    specs = {
+        "a1": ("a1", (a,), None),
+        "b1": ("b1", (b,), None),
+    }
+    for fid, path, cap in specs.values():
+        state.add_flow(fid, path, cap)
+    _check_exact(state, specs)
+
+    specs["ab"] = ("ab", (a, b), None)
+    state.add_flow("ab", (a, b), None)
+    _check_exact(state, specs)
+
+    del specs["ab"]
+    state.remove_flow("ab")
+    _check_exact(state, specs)
+
+
+def test_duplicate_links_in_one_path_count_once():
+    link = Link("a", 100.0)
+    state = FairShareState()
+    state.add_flow("f", (link, link), None)
+    state.add_flow("g", (link,), None)
+    state.recompute()
+    assert state.rates == max_min_fair(
+        [("f", (link, link), None), ("g", (link,), None)]
+    )
+
+
+# -- timer hygiene regressions --------------------------------------------
+
+def test_add_cap_hook_without_flows_arms_no_timer():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_cap_hook(lambda flow, n: None)
+    assert math.isinf(env.peek())
+    assert not env._queue
+
+
+def test_poke_without_flows_arms_no_timer():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.poke()
+    assert math.isinf(env.peek())
+    assert not env._queue
+
+
+def test_abort_last_flow_cancels_timer():
+    env = Environment()
+    net = FlowNetwork(env)
+    flow = net.transfer([Link("l", 100.0)], 10.0)
+    assert not math.isinf(env.peek())
+    net.abort(flow)
+    assert math.isinf(env.peek())
+
+
+def test_superseded_timers_are_cancelled():
+    """Each reschedule cancels the previous completion timer, so at most
+    one live timer exists no matter how much churn preceded it."""
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 100.0)
+    for i in range(10):
+        net.transfer([link], 10.0 + i)
+    live = [ev for _, _, ev in env._queue if not ev._cancelled]
+    assert len(live) == 1
+
+
+def test_cap_hook_memo_invalidated_by_poke():
+    """poke() must re-run hooks even when concurrency is unchanged."""
+    env = Environment()
+    net = FlowNetwork(env)
+    ceiling = {"cap": 50.0}
+    net.add_cap_hook(lambda flow, n: ceiling["cap"])
+    flow = net.transfer([Link("l", 100.0)], 10.0)
+    assert flow.rate_mbps == 50.0
+    ceiling["cap"] = 25.0
+    net.poke()
+    assert flow.rate_mbps == 25.0

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI ratio gate: fail on relative kernel-throughput regressions.
+
+Compares a fresh ``repro bench --quick --json`` snapshot against the
+committed ``current`` block of ``BENCH_KERNEL.json``.  Absolute rates on
+shared CI runners are meaningless (machines differ several-fold), so the
+gate normalizes: it takes the per-metric ratio measured/committed, uses
+the **median** ratio across all kernel metrics as the machine-speed
+estimate, and fails only when a *gated* metric falls more than the
+allowed margin below that median — i.e. when it regressed relative to
+the other hot paths measured in the same run.
+
+Usage::
+
+    python tools/check_bench_ratio.py bench-smoke.json \
+        [--bench BENCH_KERNEL.json] [--margin 0.2] [--gate METRIC ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+DEFAULT_BENCH = Path(__file__).resolve().parent.parent / "BENCH_KERNEL.json"
+
+#: Metrics the issue gates on: the fair-share churn path this PR
+#: optimized, and the raw event loop under it.
+DEFAULT_GATES = ("flow_churn_flows_per_s", "timeout_churn_events_per_s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("snapshot", type=Path)
+    parser.add_argument("--bench", type=Path, default=DEFAULT_BENCH)
+    parser.add_argument(
+        "--margin", type=float, default=0.2,
+        help="allowed shortfall below the median ratio (0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--gate", nargs="*", default=list(DEFAULT_GATES), metavar="METRIC",
+    )
+    args = parser.parse_args()
+
+    measured = json.loads(args.snapshot.read_text())["kernel"]
+    committed = json.loads(args.bench.read_text())["current"]["kernel"]
+
+    shared = sorted(set(measured) & set(committed))
+    if not shared:
+        print("no kernel metrics shared with the committed block; skipping")
+        return 0
+    ratios = {key: measured[key] / committed[key] for key in shared}
+    median = statistics.median(ratios.values())
+    floor = (1.0 - args.margin) * median
+
+    print(f"machine-speed estimate (median ratio): {median:.3f}")
+    print(f"gate floor ({args.margin:.0%} below median): {floor:.3f}\n")
+    failed = []
+    for key in shared:
+        gated = key in args.gate
+        verdict = ""
+        if gated:
+            verdict = "ok" if ratios[key] >= floor else "REGRESSED"
+            if verdict == "REGRESSED":
+                failed.append(key)
+        print(
+            f"  {key:32s} {ratios[key]:>7.3f}"
+            f"{'  [gate] ' + verdict if gated else ''}"
+        )
+    missing = [key for key in args.gate if key not in ratios]
+    for key in missing:
+        print(f"  {key:32s} missing from snapshot or committed block")
+    if missing:
+        failed.extend(missing)
+    if failed:
+        print(f"\nFAIL: {', '.join(failed)}")
+        return 1
+    print("\nratio gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Record golden experiment-output digests.
+
+Writes ``tests/experiments/golden_digests.json``: one SHA-256 per
+pinned experiment over its full-precision result data at the golden
+scale/seed.  The digests pin the simulation outputs bit-for-bit, so any
+engine change that shifts a rate, completion instant, or RNG trajectory
+— even by one ulp — fails ``tests/experiments/test_golden_outputs.py``.
+
+Only regenerate after an *intentional* output change, and say so in the
+commit that updates the file.
+
+Usage:  PYTHONPATH=src python tools/record_goldens.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.golden import (
+    GOLDEN_SCALE,
+    GOLDEN_SEED,
+    collect_digests,
+)
+
+DEFAULT_OUT = (
+    Path(__file__).resolve().parent.parent
+    / "tests" / "experiments" / "golden_digests.json"
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args()
+
+    start = time.time()
+    digests = collect_digests()
+    payload = {
+        "_comment": [
+            "Golden experiment-output digests: SHA-256 over each",
+            "report's data payload at repr float precision.",
+            "Regenerate (only after an intentional output change) with:",
+            "  PYTHONPATH=src python tools/record_goldens.py",
+        ],
+        "scale": GOLDEN_SCALE,
+        "seed": GOLDEN_SEED,
+        "digests": digests,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    for eid, digest in digests.items():
+        print(f"{eid:8s} {digest}")
+    print(f"wrote {args.out} ({time.time() - start:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
