@@ -8,7 +8,7 @@ asserted; the wall-clock comparison is what the benchmark measures.
 """
 
 from repro.client import TableClient
-from repro.client.retry import RetryPolicy
+from repro.resilience.backoff import RetryPolicy
 from repro.resilience import CircuitBreaker, FullJitterBackoff, RetryBudget
 from repro.simcore import Environment, RandomStreams
 from repro.storage import TableService

@@ -11,7 +11,7 @@ Run:  python examples/ops_dashboard.py
 """
 
 from repro.client import BlobClient, QueueClient, TableClient
-from repro.client.retry import RetryPolicy
+from repro.resilience.backoff import RetryPolicy
 from repro.faults import FaultInjector
 from repro.monitoring import MetricsRegistry, Sampler, render_dashboard
 from repro.storage.table import make_entity

@@ -6,8 +6,9 @@ policy for retryable failures, plus TCP internal endpoints for direct
 VM-to-VM communication (Section 4.2).
 """
 
-from repro.client.retry import RetryPolicy
+from repro.resilience.backoff import RetryPolicy
 from repro.client.base import ClientTimeoutError, race_timeout
+from repro.client.service_client import ServiceClient
 from repro.client.blob_client import BlobClient
 from repro.client.table_client import TableClient
 from repro.client.queue_client import QueueClient
@@ -21,6 +22,7 @@ __all__ = [
     "ManagementClient",
     "QueueClient",
     "RetryPolicy",
+    "ServiceClient",
     "StripedReader",
     "TableClient",
     "TcpEndpointPair",

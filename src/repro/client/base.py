@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
-from repro.client.retry import RetryPolicy
+from repro.resilience.backoff import RetryPolicy
 from repro.simcore import Environment, Race
 from repro.storage.errors import OperationTimeoutError
 

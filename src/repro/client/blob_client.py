@@ -4,13 +4,13 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.client.base import measured_call, with_retries
-from repro.client.retry import RetryPolicy
-from repro.resilience.hedging import HedgePolicy, hedged_call
+from repro.client.service_client import ServiceClient
+from repro.resilience.backoff import RetryPolicy
+from repro.resilience.hedging import HedgePolicy
 from repro.storage.blob import BlobService, NetworkEndpoint
 
 
-class BlobClient:
+class BlobClient(ServiceClient):
     """Blob operations bound to one network endpoint (a VM).
 
     Large transfers are not raced against a client timeout (the real SDK
@@ -35,24 +35,11 @@ class BlobClient:
         breaker: Optional[Any] = None,
         hedge: Optional[HedgePolicy] = None,
     ) -> None:
-        self.service = service
-        self.env = service.env
+        super().__init__(
+            service, timeout_s=None, retry=retry,
+            budget=budget, breaker=breaker, hedge=hedge,
+        )
         self.endpoint = endpoint
-        self.retry = retry if retry is not None else RetryPolicy()
-        self.budget = budget
-        self.breaker = breaker
-        self.hedge = hedge
-
-    def _download_op(self, container: str, name: str, corrupt_probability: float):
-        """The (possibly hedged) Get attempt factory."""
-        def make():
-            return self.service.download(
-                self.endpoint, container, name, corrupt_probability
-            )
-
-        if self.hedge is None:
-            return make
-        return lambda: hedged_call(self.env, make, self.hedge, "blob.download")
 
     # -- raising API ---------------------------------------------------------
     def upload(
@@ -62,24 +49,23 @@ class BlobClient:
         size_mb: float,
         overwrite: bool = False,
     ) -> Generator:
-        result = yield from with_retries(
-            self.env,
+        result = yield from self._call(
+            "blob.upload",
             lambda: self.service.upload(
                 self.endpoint, container, name, size_mb, overwrite
             ),
-            self.retry, None, "blob.upload",
-            budget=self.budget, breaker=self.breaker,
         )
         return result
 
     def download(
         self, container: str, name: str, corrupt_probability: float = 0.0
     ) -> Generator:
-        result = yield from with_retries(
-            self.env,
-            self._download_op(container, name, corrupt_probability),
-            self.retry, None, "blob.download",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call(
+            "blob.download",
+            lambda: self.service.download(
+                self.endpoint, container, name, corrupt_probability
+            ),
+            hedgeable=True,
         )
         return result
 
@@ -87,11 +73,9 @@ class BlobClient:
         return self.service.exists(container, name)
 
     def delete(self, container: str, name: str) -> Generator:
-        result = yield from with_retries(
-            self.env,
+        result = yield from self._call(
+            "blob.delete",
             lambda: self.service.delete_blob(container, name),
-            self.retry, None, "blob.delete",
-            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -103,23 +87,22 @@ class BlobClient:
         size_mb: float,
         overwrite: bool = False,
     ) -> Generator:
-        result = yield from measured_call(
-            self.env,
+        result = yield from self._call_measured(
+            "blob.upload",
             lambda: self.service.upload(
                 self.endpoint, container, name, size_mb, overwrite
             ),
-            self.retry, None, "blob.upload",
-            budget=self.budget, breaker=self.breaker,
         )
         return result
 
     def download_measured(
         self, container: str, name: str, corrupt_probability: float = 0.0
     ) -> Generator:
-        result = yield from measured_call(
-            self.env,
-            self._download_op(container, name, corrupt_probability),
-            self.retry, None, "blob.download",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call_measured(
+            "blob.download",
+            lambda: self.service.download(
+                self.endpoint, container, name, corrupt_probability
+            ),
+            hedgeable=True,
         )
         return result

@@ -4,13 +4,13 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.client.base import measured_call, with_retries
-from repro.client.retry import RetryPolicy
-from repro.resilience.hedging import HedgePolicy, hedged_call
+from repro.client.service_client import ServiceClient
+from repro.resilience.backoff import RetryPolicy
+from repro.resilience.hedging import HedgePolicy
 from repro.storage.queue import QueueMessage, QueueService
 
 
-class QueueClient:
+class QueueClient(ServiceClient):
     """Queue operations with client timeout + retry.
 
     Optional resilience hooks (see :mod:`repro.resilience`): ``budget``
@@ -28,50 +28,30 @@ class QueueClient:
         breaker: Optional[Any] = None,
         hedge: Optional[HedgePolicy] = None,
     ) -> None:
-        self.service = service
-        self.env = service.env
-        self.timeout_s = timeout_s
-        self.retry = retry if retry is not None else RetryPolicy()
-        self.budget = budget
-        self.breaker = breaker
-        self.hedge = hedge
-
-    def _peek_op(self, queue: str):
-        """The (possibly hedged) Peek attempt factory."""
-        def make():
-            return self.service.peek(queue)
-
-        if self.hedge is None:
-            return make
-        return lambda: hedged_call(self.env, make, self.hedge, "queue.peek")
+        super().__init__(
+            service, timeout_s=timeout_s, retry=retry,
+            budget=budget, breaker=breaker, hedge=hedge,
+        )
 
     # -- raising API ---------------------------------------------------------
     def add(self, queue: str, payload: object, size_kb: float = 0.5) -> Generator:
-        result = yield from with_retries(
-            self.env,
-            lambda: self.service.add(queue, payload, size_kb),
-            self.retry, self.timeout_s, "queue.add",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call(
+            "queue.add", lambda: self.service.add(queue, payload, size_kb)
         )
         return result
 
     def peek(self, queue: str) -> Generator:
-        result = yield from with_retries(
-            self.env,
-            self._peek_op(queue),
-            self.retry, self.timeout_s, "queue.peek",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call(
+            "queue.peek", lambda: self.service.peek(queue), hedgeable=True
         )
         return result
 
     def receive(
         self, queue: str, visibility_timeout_s: Optional[float] = None
     ) -> Generator:
-        result = yield from with_retries(
-            self.env,
+        result = yield from self._call(
+            "queue.receive",
             lambda: self.service.receive(queue, visibility_timeout_s),
-            self.retry, self.timeout_s, "queue.receive",
-            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -82,24 +62,20 @@ class QueueClient:
         visibility_timeout_s: Optional[float] = None,
     ) -> Generator:
         """GetMessages: up to 32 messages per round trip (may be empty)."""
-        result = yield from with_retries(
-            self.env,
+        result = yield from self._call(
+            "queue.receive_batch",
             lambda: self.service.receive_batch(
                 queue, max_messages, visibility_timeout_s
             ),
-            self.retry, self.timeout_s, "queue.receive_batch",
-            budget=self.budget, breaker=self.breaker,
         )
         return result
 
     def delete(
         self, queue: str, message: QueueMessage, pop_receipt: int
     ) -> Generator:
-        result = yield from with_retries(
-            self.env,
+        result = yield from self._call(
+            "queue.delete",
             lambda: self.service.delete(queue, message, pop_receipt),
-            self.retry, self.timeout_s, "queue.delete",
-            budget=self.budget, breaker=self.breaker,
         )
         return result
 
@@ -107,30 +83,22 @@ class QueueClient:
     def add_measured(
         self, queue: str, payload: object, size_kb: float = 0.5
     ) -> Generator:
-        result = yield from measured_call(
-            self.env,
-            lambda: self.service.add(queue, payload, size_kb),
-            self.retry, self.timeout_s, "queue.add",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call_measured(
+            "queue.add", lambda: self.service.add(queue, payload, size_kb)
         )
         return result
 
     def peek_measured(self, queue: str) -> Generator:
-        result = yield from measured_call(
-            self.env,
-            self._peek_op(queue),
-            self.retry, self.timeout_s, "queue.peek",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call_measured(
+            "queue.peek", lambda: self.service.peek(queue), hedgeable=True
         )
         return result
 
     def receive_measured(
         self, queue: str, visibility_timeout_s: Optional[float] = None
     ) -> Generator:
-        result = yield from measured_call(
-            self.env,
+        result = yield from self._call_measured(
+            "queue.receive",
             lambda: self.service.receive(queue, visibility_timeout_s),
-            self.retry, self.timeout_s, "queue.receive",
-            budget=self.budget, breaker=self.breaker,
         )
         return result

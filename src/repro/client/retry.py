@@ -1,45 +1,24 @@
-"""Client retry policy (2009 StorageClient defaults, pluggable backoff)."""
+"""Deprecated: the retry policy moved to :mod:`repro.resilience.backoff`.
+
+This shim keeps the historical import path working::
+
+    from repro.client.retry import NO_RETRY, RetryPolicy
+
+New code should import from :mod:`repro.resilience.backoff`, where the
+policy lives next to the backoff strategies it composes with.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+import warnings
 
-from repro import calibration as cal
-from repro.storage.errors import StorageError
+from repro.resilience.backoff import NO_RETRY, RetryPolicy
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.resilience.backoff import BackoffStrategy
+warnings.warn(
+    "repro.client.retry is deprecated; import RetryPolicy and NO_RETRY"
+    " from repro.resilience.backoff",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded retry with a pluggable backoff strategy.
-
-    The 2009 StorageClient defaulted to 3 retries with ~1 s linear
-    backoff, which remains the default here (``strategy=None`` keeps the
-    seed's ``backoff_s * (attempt + 1)`` schedule).  Alternatives live
-    in :mod:`repro.resilience.backoff`.  Only transport/server-side
-    failures are retryable -- semantic failures (not-found,
-    already-exists, precondition) never are.
-    """
-
-    max_retries: int = cal.STORAGE_RETRY_COUNT
-    backoff_s: float = cal.STORAGE_RETRY_BACKOFF_S
-    strategy: Optional["BackoffStrategy"] = None
-
-    def should_retry(self, error: BaseException, attempt: int) -> bool:
-        """Whether ``attempt`` (0-based) may be retried after ``error``."""
-        if attempt >= self.max_retries:
-            return False
-        return isinstance(error, StorageError) and error.retryable
-
-    def backoff(self, attempt: int) -> float:
-        """Seconds to wait before retry number ``attempt + 1``."""
-        if self.strategy is not None:
-            return self.strategy.delay(attempt)
-        return self.backoff_s * (attempt + 1)
-
-
-#: Policy that never retries (used to expose raw service behaviour).
-NO_RETRY = RetryPolicy(max_retries=0)
+__all__ = ["NO_RETRY", "RetryPolicy"]

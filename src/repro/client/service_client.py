@@ -1,0 +1,151 @@
+"""The declarative base every typed storage client is built on.
+
+The three 2009-style clients (blob, table, queue) share one call path:
+an attempt factory (optionally hedged for idempotent reads) run through
+:func:`repro.client.base.with_retries` — timeout race, bounded retry,
+optional retry budget and circuit breaker — or through
+:func:`repro.client.base.measured_call` for the ``*_measured`` variants
+the benchmark drivers use.  :class:`ServiceClient` specifies that wiring
+once; a typed client is then just an op table::
+
+    class QueueClient(ServiceClient):
+        def peek(self, queue):
+            result = yield from self._call(
+                "queue.peek", lambda: self.service.peek(queue),
+                hedgeable=True,
+            )
+            return result
+
+Every client call additionally emits a call-level
+:class:`~repro.service.tracing.RequestTrace` (op kind, latency, retry
+count, outcome) into the service's :class:`RequestTracer` — the client
+half of the per-request observability layer (the service half is
+emitted by the request pipeline itself).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.client.base import measured_call, with_retries
+from repro.resilience.backoff import RetryPolicy
+from repro.resilience.hedging import HedgePolicy, hedged_call
+from repro.service.tracing import OK, RequestTrace, RequestTracer
+
+
+class ServiceClient:
+    """Shared retry/hedge/breaker wiring for one storage service.
+
+    Parameters
+    ----------
+    service:
+        The service endpoint; must expose ``env`` and (optionally) a
+        ``tracer`` the client inherits for call-level traces.
+    timeout_s:
+        Client-side operation timeout raced against every attempt
+        (None disables the race — blob transfers stream instead).
+    retry:
+        :class:`RetryPolicy`; defaults to the 2009 StorageClient policy.
+    budget / breaker:
+        Optional resilience hooks (see :mod:`repro.resilience`).
+    hedge:
+        Optional :class:`HedgePolicy`, applied only to ops a subclass
+        marks ``hedgeable=True`` (idempotent reads).
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        budget: Optional[Any] = None,
+        breaker: Optional[Any] = None,
+        hedge: Optional[HedgePolicy] = None,
+    ) -> None:
+        self.service = service
+        self.env = service.env
+        self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.budget = budget
+        self.breaker = breaker
+        self.hedge = hedge
+        self.tracer: Optional[RequestTracer] = getattr(
+            service, "tracer", None
+        )
+
+    # -- the one call path -------------------------------------------------
+    def _attempt(
+        self,
+        kind: str,
+        make: Callable[[], Generator],
+        hedgeable: bool,
+    ) -> Callable[[], Generator]:
+        """Wrap the attempt factory with hedging where allowed."""
+        if hedgeable and self.hedge is not None:
+            return lambda: hedged_call(self.env, make, self.hedge, kind)
+        return make
+
+    def _call(
+        self,
+        kind: str,
+        make: Callable[[], Generator],
+        hedgeable: bool = False,
+    ) -> Generator:
+        """Raising variant: result or the final (post-retry) error."""
+        factory = self._attempt(kind, make, hedgeable)
+        started_at = self.env.now
+        retries = [0]
+
+        def count_retry(_error: BaseException, _attempt: int) -> None:
+            retries[0] += 1
+
+        try:
+            result = yield from with_retries(
+                self.env, factory, self.retry, self.timeout_s, kind,
+                on_retry=count_retry,
+                budget=self.budget, breaker=self.breaker,
+            )
+        except Exception as error:
+            self._trace_call(kind, started_at, retries[0], error)
+            raise
+        self._trace_call(kind, started_at, retries[0], None)
+        return result
+
+    def _call_measured(
+        self,
+        kind: str,
+        make: Callable[[], Generator],
+        hedgeable: bool = False,
+    ) -> Generator:
+        """Measured variant: ``(result_or_None, OperationOutcome)``."""
+        factory = self._attempt(kind, make, hedgeable)
+        started_at = self.env.now
+        result, outcome = yield from measured_call(
+            self.env, factory, self.retry, self.timeout_s, kind,
+            budget=self.budget, breaker=self.breaker,
+        )
+        self._trace_call(kind, started_at, outcome.retries, outcome.error)
+        return result, outcome
+
+    def _trace_call(
+        self,
+        kind: str,
+        started_at: float,
+        retries: int,
+        error: Optional[BaseException],
+    ) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.observe_call(
+            RequestTrace(
+                service=getattr(self.service, "name", "service"),
+                op=kind,
+                started_at=started_at,
+                finished_at=self.env.now,
+                retries=retries,
+                outcome=OK if error is None else type(error).__name__,
+            )
+        )
+
+
+__all__ = ["ServiceClient"]

@@ -5,13 +5,13 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro import calibration as cal
-from repro.client.base import measured_call, with_retries
-from repro.client.retry import RetryPolicy
-from repro.resilience.hedging import HedgePolicy, hedged_call
+from repro.client.service_client import ServiceClient
+from repro.resilience.backoff import RetryPolicy
+from repro.resilience.hedging import HedgePolicy
 from repro.storage.table import Entity, TableService
 
 
-class TableClient:
+class TableClient(ServiceClient):
     """Table operations with client timeout + retry (StorageClient style).
 
     ``*_measured`` variants return ``(result, OperationOutcome)`` and
@@ -31,117 +31,82 @@ class TableClient:
         breaker: Optional[Any] = None,
         hedge: Optional[HedgePolicy] = None,
     ) -> None:
-        self.service = service
-        self.env = service.env
-        self.timeout_s = timeout_s
-        self.retry = retry if retry is not None else RetryPolicy()
-        self.budget = budget
-        self.breaker = breaker
-        self.hedge = hedge
-
-    def _query_op(self, table: str, pk: str, rk: str):
-        """The (possibly hedged) keyed-Query attempt factory."""
-        def make():
-            return self.service.query(table, pk, rk)
-
-        if self.hedge is None:
-            return make
-        return lambda: hedged_call(self.env, make, self.hedge, "table.query")
+        super().__init__(
+            service, timeout_s=timeout_s, retry=retry,
+            budget=budget, breaker=breaker, hedge=hedge,
+        )
 
     # -- raising API ---------------------------------------------------------
     def insert(self, table: str, entity: Entity) -> Generator:
-        result = yield from with_retries(
-            self.env,
-            lambda: self.service.insert(table, entity),
-            self.retry, self.timeout_s, "table.insert",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call(
+            "table.insert", lambda: self.service.insert(table, entity)
         )
         return result
 
     def query(self, table: str, pk: str, rk: str) -> Generator:
-        result = yield from with_retries(
-            self.env,
-            self._query_op(table, pk, rk),
-            self.retry, self.timeout_s, "table.query",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call(
+            "table.query",
+            lambda: self.service.query(table, pk, rk),
+            hedgeable=True,
         )
         return result
 
     def update(
         self, table: str, entity: Entity, if_match: Optional[int] = None
     ) -> Generator:
-        result = yield from with_retries(
-            self.env,
+        result = yield from self._call(
+            "table.update",
             lambda: self.service.update(table, entity, if_match),
-            self.retry, self.timeout_s, "table.update",
-            budget=self.budget, breaker=self.breaker,
         )
         return result
 
     def delete(self, table: str, pk: str, rk: str) -> Generator:
-        result = yield from with_retries(
-            self.env,
-            lambda: self.service.delete(table, pk, rk),
-            self.retry, self.timeout_s, "table.delete",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call(
+            "table.delete", lambda: self.service.delete(table, pk, rk)
         )
         return result
 
     def query_by_property(
         self, table: str, pk: str, predicate: Callable[[Entity], bool]
     ) -> Generator:
-        result = yield from with_retries(
-            self.env,
+        result = yield from self._call(
+            "table.scan",
             lambda: self.service.query_by_property(table, pk, predicate),
-            self.retry, self.timeout_s, "table.scan",
-            budget=self.budget, breaker=self.breaker,
         )
         return result
 
     # -- measured API ----------------------------------------------------------
     def insert_measured(self, table: str, entity: Entity) -> Generator:
-        result = yield from measured_call(
-            self.env,
-            lambda: self.service.insert(table, entity),
-            self.retry, self.timeout_s, "table.insert",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call_measured(
+            "table.insert", lambda: self.service.insert(table, entity)
         )
         return result
 
     def query_measured(self, table: str, pk: str, rk: str) -> Generator:
-        result = yield from measured_call(
-            self.env,
-            self._query_op(table, pk, rk),
-            self.retry, self.timeout_s, "table.query",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call_measured(
+            "table.query",
+            lambda: self.service.query(table, pk, rk),
+            hedgeable=True,
         )
         return result
 
     def update_measured(self, table: str, entity: Entity) -> Generator:
-        result = yield from measured_call(
-            self.env,
-            lambda: self.service.update(table, entity),
-            self.retry, self.timeout_s, "table.update",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call_measured(
+            "table.update", lambda: self.service.update(table, entity)
         )
         return result
 
     def delete_measured(self, table: str, pk: str, rk: str) -> Generator:
-        result = yield from measured_call(
-            self.env,
-            lambda: self.service.delete(table, pk, rk),
-            self.retry, self.timeout_s, "table.delete",
-            budget=self.budget, breaker=self.breaker,
+        result = yield from self._call_measured(
+            "table.delete", lambda: self.service.delete(table, pk, rk)
         )
         return result
 
     def scan_measured(
         self, table: str, pk: str, predicate: Callable[[Entity], bool]
     ) -> Generator:
-        result = yield from measured_call(
-            self.env,
+        result = yield from self._call_measured(
+            "table.scan",
             lambda: self.service.query_by_property(table, pk, predicate),
-            self.retry, self.timeout_s, "table.scan",
-            budget=self.budget, breaker=self.breaker,
         )
         return result

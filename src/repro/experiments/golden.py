@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 #: Scale/seed every golden digest uses.  Small enough for CI, large
 #: enough that all engine paths (multi-link contention, cap hooks,
@@ -66,4 +67,37 @@ def collect_digests(
             run_experiment(eid, scale=scale, seed=seed, jobs=jobs)
         )
         for eid in ids
+    }
+
+
+def load_digest_file(path: Union[str, Path]) -> Dict[str, object]:
+    """Parse a committed digest file (as written by record_goldens)."""
+    return json.loads(Path(path).read_text())
+
+
+def check_digests(
+    golden_path: Union[str, Path],
+    experiment_ids: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = 1,
+) -> Dict[str, Tuple[str, str]]:
+    """Recompute digests and diff them against a committed digest file.
+
+    Experiments rerun at the scale/seed recorded *in the file* (not the
+    module constants), so a stale checkout can't silently pass.  Returns
+    ``{experiment_id: (expected, actual)}`` for every mismatch — empty
+    means every pinned output is still bit-identical.
+    """
+    golden = load_digest_file(golden_path)
+    pinned: Dict[str, str] = golden["digests"]
+    ids = list(experiment_ids) if experiment_ids else sorted(pinned)
+    unknown = [eid for eid in ids if eid not in pinned]
+    if unknown:
+        raise KeyError(f"no golden digest recorded for {unknown}")
+    actual = collect_digests(
+        ids, scale=golden["scale"], seed=golden["seed"], jobs=jobs
+    )
+    return {
+        eid: (pinned[eid], actual[eid])
+        for eid in ids
+        if actual[eid] != pinned[eid]
     }

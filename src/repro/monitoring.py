@@ -197,6 +197,81 @@ def attach_retry_budget(
     registry.register_gauge(f"{prefix}.shed", lambda b=budget: b.shed)
 
 
+def attach_request_tracer(
+    registry: MetricsRegistry,
+    tracer,
+    prefix: str = "requests",
+) -> None:
+    """Register a :class:`repro.service.tracing.RequestTracer` as gauges.
+
+    Exposes the service-side request totals (count, errors, retained
+    records, dropped-by-capacity) and the client-observed call totals
+    (count, errors, retries across all attempts) under ``prefix``.
+    """
+    registry.register_gauge(f"{prefix}.total", lambda t=tracer: t.total)
+    registry.register_gauge(f"{prefix}.errors", lambda t=tracer: t.errors)
+    registry.register_gauge(
+        f"{prefix}.recorded", lambda t=tracer: len(t.records())
+    )
+    registry.register_gauge(f"{prefix}.dropped", lambda t=tracer: t.dropped)
+    registry.register_gauge(
+        f"{prefix}.client_total", lambda t=tracer: t.client_total
+    )
+    registry.register_gauge(
+        f"{prefix}.client_errors", lambda t=tracer: t.client_errors
+    )
+    registry.register_gauge(f"{prefix}.retries", lambda t=tracer: t.retries)
+
+
+def ingest_request_traces(
+    registry: MetricsRegistry,
+    tracer,
+    prefix: str = "requests",
+) -> int:
+    """Fold the tracer's retained per-request records into latency tallies.
+
+    Each record's end-to-end latency lands in ``<prefix>.<op>`` (so the
+    registry snapshot exposes p50/p95 per operation).  Returns the number
+    of records ingested.  Idempotence is the caller's concern: pair with
+    ``tracer.clear()`` when sampling incrementally.
+    """
+    count = 0
+    for trace in tracer.records():
+        registry.tally(f"{prefix}.{trace.op}").observe(trace.latency_s)
+        count += 1
+    return count
+
+
+def request_summary(tracer, title: str = "request summary") -> str:
+    """An operator-readable per-operation rollup of the request log.
+
+    Aggregates are exact over the tracer's whole lifetime (capacity
+    trimming drops raw records, never the running sums).
+    """
+    rows = []
+    for op, totals in sorted(tracer.per_op_totals().items()):
+        n = totals["count"]
+        rows.append([
+            op,
+            int(n),
+            int(totals["errors"]),
+            round(totals["latency_s"] / n, 6) if n else 0.0,
+            round(totals["queue_wait_s"] / n, 6) if n else 0.0,
+            round(totals["transfer_s"] / n, 6) if n else 0.0,
+            round(totals["size_mb"], 3),
+        ])
+    if not rows:
+        rows.append(["(no requests)", 0, 0, 0.0, 0.0, 0.0, 0.0])
+    return ascii_table(
+        [
+            "op", "count", "errors", "mean_latency_s",
+            "mean_queue_wait_s", "mean_transfer_s", "total_mb",
+        ],
+        rows,
+        title=title,
+    )
+
+
 def attach_worker_pool(registry: MetricsRegistry, pool) -> None:
     """Register a ModisAzure worker pool's state as gauges/counters."""
     registry.register_gauge("pool.outstanding", lambda: pool.outstanding)

@@ -21,10 +21,12 @@ an import cycle.
 """
 
 from repro.resilience.backoff import (
+    NO_RETRY,
     BackoffStrategy,
     CappedExponentialBackoff,
     FullJitterBackoff,
     LinearBackoff,
+    RetryPolicy,
 )
 from repro.resilience.breaker import CircuitBreaker, CircuitOpenError
 from repro.resilience.budget import RetryBudget
@@ -41,6 +43,7 @@ from repro.resilience.drills import (
 from repro.resilience.hedging import HedgePolicy, hedged_call
 
 __all__ = [
+    "NO_RETRY",
     "BackoffStrategy",
     "CappedExponentialBackoff",
     "CircuitBreaker",
@@ -53,6 +56,7 @@ __all__ = [
     "LinearBackoff",
     "PolicySpec",
     "RetryBudget",
+    "RetryPolicy",
     "default_policy_matrix",
     "hedged_call",
     "run_drill",

@@ -1,4 +1,10 @@
-"""Pluggable backoff strategies for the client retry loop.
+"""Retry policy and pluggable backoff strategies for the client loop.
+
+:class:`RetryPolicy` (formerly ``repro.client.retry``, which remains as
+a deprecation shim) decides *whether* to retry — bounded attempts, and
+only for transport/server-side failures per
+:func:`repro.storage.errors.is_transport_failure`.  The strategies below
+decide *how long* to wait.
 
 The 2009 StorageClient hardcoded linear backoff (1 s, 2 s, 3 s).  At
 scale that synchronizes a client population: every client that failed at
@@ -21,6 +27,9 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
+
+from repro import calibration as cal
+from repro.storage.errors import is_transport_failure
 
 
 @runtime_checkable
@@ -82,6 +91,40 @@ class FullJitterBackoff:
 
     def delay(self, attempt: int) -> float:
         return float(self.rng.uniform(0.0, self._ceiling.delay(attempt)))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with a pluggable backoff strategy.
+
+    The 2009 StorageClient defaulted to 3 retries with ~1 s linear
+    backoff, which remains the default here (``strategy=None`` keeps the
+    seed's ``backoff_s * (attempt + 1)`` schedule).  Only
+    transport/server-side failures are retryable -- semantic failures
+    (not-found, already-exists, precondition) never are; the
+    classification is shared with the circuit breaker via
+    :func:`repro.storage.errors.is_transport_failure`.
+    """
+
+    max_retries: int = cal.STORAGE_RETRY_COUNT
+    backoff_s: float = cal.STORAGE_RETRY_BACKOFF_S
+    strategy: Optional[BackoffStrategy] = None
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether ``attempt`` (0-based) may be retried after ``error``."""
+        if attempt >= self.max_retries:
+            return False
+        return is_transport_failure(error)
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt + 1``."""
+        if self.strategy is not None:
+            return self.strategy.delay(attempt)
+        return self.backoff_s * (attempt + 1)
+
+
+#: Policy that never retries (used to expose raw service behaviour).
+NO_RETRY = RetryPolicy(max_retries=0)
 
 
 def make_backoff(

@@ -23,7 +23,7 @@ from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.simcore import Environment
-from repro.storage.errors import StorageError
+from repro.storage.errors import StorageError, is_transport_failure
 
 CLOSED = "closed"
 OPEN = "open"
@@ -98,8 +98,12 @@ class CircuitBreaker:
     # -- classification ----------------------------------------------------
     @staticmethod
     def counts_as_failure(error: BaseException) -> bool:
-        """Transport/server failures only; semantic errors are answers."""
-        return isinstance(error, StorageError) and error.retryable
+        """Transport/server failures only; semantic errors are answers.
+
+        Shares :func:`repro.storage.errors.is_transport_failure` with the
+        retry policy, so breaker and retry always classify identically.
+        """
+        return is_transport_failure(error)
 
     @property
     def error_rate(self) -> float:

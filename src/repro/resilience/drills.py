@@ -66,7 +66,7 @@ class PolicySpec:
         self, env: Environment, rng: np.random.Generator
     ) -> Tuple[Any, Optional[RetryBudget], Optional[CircuitBreaker]]:
         """Instantiate (retry_policy, budget, breaker) for one run."""
-        from repro.client.retry import RetryPolicy
+        from repro.resilience.backoff import RetryPolicy
 
         strategy = None
         if self.backoff != "linear" or self.backoff_base_s != 1.0:
@@ -474,7 +474,7 @@ def _hedge_run(
 ) -> Tuple[Tally, Optional[HedgePolicy]]:
     """One hedged-or-not pass over a spiking blob read workload."""
     from repro.client import BlobClient
-    from repro.client.retry import NO_RETRY
+    from repro.resilience.backoff import NO_RETRY
     from repro.workloads.harness import build_platform
 
     platform = build_platform(seed=seed, n_clients=n_clients)

@@ -1,0 +1,248 @@
+"""The request pipeline every storage service runs on.
+
+One request = one pass through :meth:`RequestPipeline.execute`, whose
+stages mirror the real Azure front-end path the paper measured:
+
+    admission  ->  base latency  ->  precheck  ->  partition routing
+    -> server queue/latch  ->  server-side work  ->  network transfer
+    -> commit / completion
+
+Each service (blob, table, queue) supplies only the stages its
+operations use: the blob path has network transfers but no partition
+server; table and queue route to partition servers but move no bulk
+bytes.  The pipeline is *stage-exact* with the per-service request code
+it replaced — every RNG draw and kernel event happens at the same
+simulation instant in the same order, which is what keeps the golden
+experiment digests bit-identical.
+
+Laziness rules (load-bearing for bit-neutrality):
+
+* ``op`` may be a zero-argument callable returning an :class:`OpSpec`;
+  it is evaluated *after* the base-latency delay, immediately before
+  ``server.execute`` — some table ops size themselves from state read
+  at that instant.
+* ``transfer`` may likewise be a callable returning a
+  :class:`TransferSpec`, evaluated when the transfer stage starts.
+* ``commit`` runs after every delay stage; state mutation and
+  semantic errors (not-found, precondition) belong there, at the same
+  instant the legacy code performed them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.service.spec import OpSpec
+from repro.service.tracing import RequestTrace, RequestTracer
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Base request latency: a fixed floor plus exponential jitter.
+
+    ``draw`` returns ``base * fixed_frac + Exp(base * jitter_frac)``.
+    Blob uses (0.8, 0.2); table and queue use (0.85, 0.15).
+    """
+
+    fixed_frac: float = 0.85
+    jitter_frac: float = 0.15
+
+    def draw(self, rng: np.random.Generator, base_s: float) -> float:
+        return base_s * self.fixed_frac + float(
+            rng.exponential(base_s * self.jitter_frac)
+        )
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """A bulk network transfer performed by the request.
+
+    ``acquire``/``release`` bracket the flow for connection accounting
+    (the blob front-end service curves read per-link connection counts
+    while the flow is active); ``release`` runs in a ``finally`` so
+    abandoned requests never leak a connection.
+    """
+
+    route: Tuple[Any, ...]
+    size_mb: float
+    label: str = ""
+    acquire: Optional[Callable[[], None]] = None
+    release: Optional[Callable[[], None]] = None
+
+
+#: Stage inputs that may be supplied lazily.
+OpInput = Union[OpSpec, Callable[[], OpSpec], None]
+TransferInput = Union[TransferSpec, Callable[[], TransferSpec], None]
+
+
+class RequestPipeline:
+    """Executes requests for one storage service.
+
+    Parameters
+    ----------
+    env / rng:
+        The simulation environment and the service's RNG stream.
+    service:
+        Service name stamped on traces and errors (e.g. ``"storage.blob"``).
+    latency:
+        The service's :class:`LatencyProfile`.
+    network:
+        :class:`repro.network.FlowNetwork` (required for transfer stages).
+    router:
+        Maps a routing key to a partition server (required for routed ops).
+    owner:
+        The service object; consulted for its ``fault_injector`` at
+        admission so drills keep working unchanged.
+    tracer:
+        Optional :class:`RequestTracer`; every request emits one
+        :class:`RequestTrace` on completion, including failures.
+    """
+
+    def __init__(
+        self,
+        env: Any,
+        rng: np.random.Generator,
+        service: str,
+        latency: LatencyProfile = LatencyProfile(),
+        network: Optional[Any] = None,
+        router: Optional[Callable[[Any], Any]] = None,
+        owner: Optional[Any] = None,
+        tracer: Optional[RequestTracer] = None,
+    ) -> None:
+        self.env = env
+        self.rng = rng
+        self.service = service
+        self.latency = latency
+        self.network = network
+        self.router = router
+        self.owner = owner
+        self.tracer = tracer
+
+    @property
+    def fault_injector(self) -> Optional[Any]:
+        """The owning service's fault injector (drills set it per-service)."""
+        return getattr(self.owner, "fault_injector", None)
+
+    # -- execution ---------------------------------------------------------
+    def execute(
+        self,
+        kind: str,
+        op: OpInput = None,
+        *,
+        base_latency_s: float = 0.0,
+        admit: bool = False,
+        admit_op: Optional[OpSpec] = None,
+        precheck: Optional[Callable[[], None]] = None,
+        route: Optional[Any] = None,
+        work_s: float = 0.0,
+        transfer: TransferInput = None,
+        commit: Optional[Callable[[], Any]] = None,
+    ) -> Generator:
+        """Run one request; yields inside the caller's process.
+
+        Stage order (each optional, all in this sequence):
+
+        1. *admission* — if ``admit``, the owner's fault injector may
+           delay or fail the request (``admit_op`` names the op to it);
+        2. *base latency* — one ``latency.draw`` over ``base_latency_s``;
+        3. ``precheck()`` — early semantic validation;
+        4. *routing* — ``router(route)`` picks the partition server and
+           ``op`` (evaluated now if callable) runs on it, measuring
+           queue/latch wait through the server's observer hook;
+        5. *work* — a deterministic ``work_s`` server-side delay;
+        6. *transfer* — the flow runs on ``network`` with connection
+           accounting and a ``poke`` on completion;
+        7. ``commit()`` — state mutation; its return value is the
+           request's result.
+
+        Exactly one trace record is emitted per request, successful or
+        not, carrying the stage timings observed up to the outcome.
+        """
+        env = self.env
+        trace = RequestTrace(
+            service=self.service,
+            op=kind,
+            started_at=env.now,
+            finished_at=env.now,
+        )
+        try:
+            if admit:
+                injector = self.fault_injector
+                if injector is not None:
+                    yield from injector.intercept(self.owner, admit_op)
+
+            if base_latency_s > 0:
+                delay = self.latency.draw(self.rng, base_latency_s)
+                trace.base_latency_s = delay
+                yield env.timeout(delay)
+
+            if precheck is not None:
+                precheck()
+
+            if route is not None:
+                if self.router is None:
+                    raise ValueError(
+                        f"{self.service}: op {kind!r} routes but the"
+                        " pipeline has no router"
+                    )
+                server = self.router(route)
+                spec = op() if callable(op) else op
+                if spec is None:
+                    raise ValueError(
+                        f"{self.service}: routed op {kind!r} needs an OpSpec"
+                    )
+                trace.size_mb = spec.payload_mb
+                waited = [0.0]
+
+                def observe_wait(stage: str, seconds: float) -> None:
+                    waited[0] += seconds
+
+                entered = env.now
+                yield from server.execute(spec, observer=observe_wait)
+                trace.server_s = env.now - entered
+                trace.queue_wait_s = waited[0]
+
+            if work_s > 0:
+                yield env.timeout(work_s)
+
+            if transfer is not None:
+                xfer = transfer() if callable(transfer) else transfer
+                if self.network is None:
+                    raise ValueError(
+                        f"{self.service}: op {kind!r} transfers but the"
+                        " pipeline has no network"
+                    )
+                trace.size_mb = xfer.size_mb
+                started = env.now
+                if xfer.acquire is not None:
+                    xfer.acquire()
+                try:
+                    flow = self.network.transfer(
+                        xfer.route, xfer.size_mb, label=xfer.label
+                    )
+                    yield flow.done
+                finally:
+                    if xfer.release is not None:
+                        xfer.release()
+                    # Connection release changes front-end caps; let the
+                    # network re-solve the affected component.
+                    self.network.poke()
+                trace.transfer_s = env.now - started
+
+            result = commit() if commit is not None else None
+        except BaseException as error:
+            trace.outcome = type(error).__name__
+            trace.finished_at = env.now
+            if self.tracer is not None:
+                self.tracer.observe(trace)
+            raise
+        trace.finished_at = env.now
+        if self.tracer is not None:
+            self.tracer.observe(trace)
+        return result
+
+
+__all__ = ["LatencyProfile", "RequestPipeline", "TransferSpec"]

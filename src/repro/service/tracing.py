@@ -1,0 +1,190 @@
+"""Per-request structured traces for the unified request path.
+
+Every request that runs through :class:`repro.service.pipeline.RequestPipeline`
+emits one :class:`RequestTrace` (op kind, payload size, queue wait,
+transfer time, outcome); every client call that runs through
+:class:`repro.client.service_client.ServiceClient` emits a second,
+call-level record carrying the retry count.  Both land in a
+:class:`RequestTracer`, which is a bounded window over
+:class:`repro.simcore.tracing.TraceRecorder` plus exact running
+aggregates — so a full-scale experiment can keep tracing on without the
+event list growing with the run.
+
+The tracer is read back through :mod:`repro.monitoring`
+(:func:`~repro.monitoring.attach_request_tracer`,
+:func:`~repro.monitoring.request_summary`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.simcore.tracing import TraceRecorder
+
+#: Outcome value recorded for a request that completed without error.
+OK = "ok"
+
+
+@dataclass
+class RequestTrace:
+    """One request (or one client call) through the unified pipeline.
+
+    Times are simulation seconds.  ``outcome`` is :data:`OK` or the
+    exception class name that terminated the request.  For server-side
+    records ``retries`` is always 0; client-call records carry the
+    retry count of the whole call.
+    """
+
+    service: str
+    op: str
+    started_at: float
+    finished_at: float
+    size_mb: float = 0.0
+    base_latency_s: float = 0.0
+    queue_wait_s: float = 0.0
+    server_s: float = 0.0
+    transfer_s: float = 0.0
+    retries: int = 0
+    outcome: str = OK
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == OK
+
+    @property
+    def latency_s(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class RequestTracer:
+    """Bounded per-request trace log with exact running aggregates.
+
+    ``capacity`` bounds how many individual records are retained (the
+    most recent ones win); the counters ``total``/``errors``/``dropped``
+    and the per-(service, op) tallies stay exact regardless of trimming.
+    Pass ``capacity=None`` to retain everything.
+    """
+
+    #: Trace kinds used on the underlying recorder.
+    REQUEST_KIND = "request"
+    CLIENT_KIND = "client_call"
+
+    def __init__(
+        self, capacity: Optional[int] = 100_000, enabled: bool = True
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None)")
+        self.recorder = TraceRecorder(enabled=enabled)
+        self.capacity = capacity
+        self.dropped = 0
+        self.total = 0
+        self.errors = 0
+        self.client_total = 0
+        self.client_errors = 0
+        self.retries = 0
+        self._per_op: Dict[str, Dict[str, float]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.recorder.enabled
+
+    # -- ingestion ---------------------------------------------------------
+    def observe(self, trace: RequestTrace) -> None:
+        """Record one server-side request trace."""
+        if not self.recorder.enabled:
+            return
+        self.total += 1
+        if not trace.ok:
+            self.errors += 1
+        self._fold(trace)
+        self._append(self.REQUEST_KIND, trace)
+
+    def observe_call(self, trace: RequestTrace) -> None:
+        """Record one client-call trace (whole retried operation)."""
+        if not self.recorder.enabled:
+            return
+        self.client_total += 1
+        if not trace.ok:
+            self.client_errors += 1
+        self.retries += trace.retries
+        self._append(self.CLIENT_KIND, trace)
+
+    def _fold(self, trace: RequestTrace) -> None:
+        agg = self._per_op.get(trace.op)
+        if agg is None:
+            agg = {
+                "count": 0.0,
+                "errors": 0.0,
+                "latency_s": 0.0,
+                "queue_wait_s": 0.0,
+                "transfer_s": 0.0,
+                "size_mb": 0.0,
+            }
+            self._per_op[trace.op] = agg
+        agg["count"] += 1
+        if not trace.ok:
+            agg["errors"] += 1
+        agg["latency_s"] += trace.latency_s
+        agg["queue_wait_s"] += trace.queue_wait_s
+        agg["transfer_s"] += trace.transfer_s
+        agg["size_mb"] += trace.size_mb
+
+    def _append(self, kind: str, trace: RequestTrace) -> None:
+        self.recorder.record(trace.finished_at, kind, trace=trace)
+        cap = self.capacity
+        if cap is None:
+            return
+        events = self.recorder.events
+        # Trim in blocks so retention is O(1) amortized per record.
+        if len(events) >= cap + max(cap // 4, 1):
+            drop = len(events) - cap
+            del events[:drop]
+            self.dropped += drop
+
+    # -- retrieval ---------------------------------------------------------
+    def records(self) -> List[RequestTrace]:
+        """Retained server-side request traces, oldest first."""
+        return [
+            e.data["trace"]
+            for e in self.recorder.events
+            if e.kind == self.REQUEST_KIND
+        ]
+
+    def client_calls(self) -> List[RequestTrace]:
+        """Retained client-call traces, oldest first."""
+        return [
+            e.data["trace"]
+            for e in self.recorder.events
+            if e.kind == self.CLIENT_KIND
+        ]
+
+    def of_op(self, op: str) -> List[RequestTrace]:
+        return [t for t in self.records() if t.op == op]
+
+    def per_op_totals(self) -> Dict[str, Dict[str, float]]:
+        """Exact per-op aggregate sums (never trimmed); keys are op kinds.
+
+        Each value maps ``count / errors / latency_s / queue_wait_s /
+        transfer_s / size_mb`` to the running totals for that op.
+        """
+        return {op: dict(agg) for op, agg in self._per_op.items()}
+
+    def clear(self) -> None:
+        self.recorder.events.clear()
+        self.dropped = 0
+        self.total = 0
+        self.errors = 0
+        self.client_total = 0
+        self.client_errors = 0
+        self.retries = 0
+        self._per_op.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<RequestTracer total={self.total} errors={self.errors}"
+            f" client_calls={self.client_total} dropped={self.dropped}>"
+        )
+
+
+__all__ = ["OK", "RequestTrace", "RequestTracer"]

@@ -1,7 +1,7 @@
 """A storage account: one blob + table + queue endpoint triple.
 
-Bundles the three services over a shared flow network and RNG family,
-the way an Azure subscription sees them.
+Bundles the three services over a shared flow network, RNG family and
+request tracer, the way an Azure subscription sees them.
 """
 
 from __future__ import annotations
@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.network.flows import FlowNetwork
+from repro.service.tracing import RequestTracer
 from repro.simcore import Environment, RandomStreams
 from repro.storage.blob import BlobService
 from repro.storage.queue import QueueService
@@ -16,7 +17,14 @@ from repro.storage.table import TableService
 
 
 class StorageAccount:
-    """The storage half of a simulated Azure subscription."""
+    """The storage half of a simulated Azure subscription.
+
+    All three services share one :class:`RequestTracer`, so every
+    request against the account — blob, table or queue — lands in a
+    single per-request trace log (read back via :mod:`repro.monitoring`).
+    Pass ``tracer=None`` explicitly only to build a custom one;
+    ``RequestTracer(enabled=False)`` disables collection entirely.
+    """
 
     def __init__(
         self,
@@ -24,19 +32,23 @@ class StorageAccount:
         streams: RandomStreams,
         network: Optional[FlowNetwork] = None,
         name: str = "account",
+        tracer: Optional[RequestTracer] = None,
     ) -> None:
         self.env = env
         self.name = name
         self.network = network if network is not None else FlowNetwork(env)
+        self.tracer = tracer if tracer is not None else RequestTracer()
         self.blobs = BlobService(
             env, streams.stream(f"{name}.blob"), self.network,
-            name=f"{name}.blobs",
+            name=f"{name}.blobs", tracer=self.tracer,
         )
         self.tables = TableService(
             env, streams.stream(f"{name}.table"), name=f"{name}.tables",
+            tracer=self.tracer,
         )
         self.queues = QueueService(
             env, streams.stream(f"{name}.queue"), name=f"{name}.queues",
+            tracer=self.tracer,
         )
 
     def __repr__(self) -> str:

@@ -12,6 +12,10 @@ behaviour of Fig. 1 arises from three stacked constraints:
   which bends the per-client curve down between the NIC-limited region
   (1-8 clients) and the hard ceiling (>=128 clients).
 
+Every operation is one pass through the shared
+:class:`~repro.service.pipeline.RequestPipeline`: fault-injection
+admission, base request latency, then (for data ops) a network transfer
+with per-link connection accounting, then the metadata commit.
 Transfers run as flows on the shared :class:`FlowNetwork`, so blob
 traffic, VM-to-VM traffic and background traffic all contend for the
 same simulated links.
@@ -21,13 +25,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional, Protocol, Tuple
+from typing import Any, Dict, Generator, Optional, Protocol, Tuple
 
 import numpy as np
 
 from repro import calibration as cal
 from repro.network.flows import Flow, FlowNetwork
 from repro.network.links import Link
+from repro.service.pipeline import LatencyProfile, RequestPipeline, TransferSpec
+from repro.service.tracing import RequestTracer
 from repro.simcore import Environment
 from repro.storage.errors import (
     BlobAlreadyExistsError,
@@ -88,6 +94,7 @@ class BlobService:
         network: FlowNetwork,
         name: str = "blobs",
         replicas: int = cal.REPLICATION_FACTOR,
+        tracer: Optional[RequestTracer] = None,
     ) -> None:
         if replicas < 1:
             raise ValueError("need at least one replica")
@@ -117,8 +124,21 @@ class BlobService:
         self._staged: Dict[Tuple[str, str], Dict[str, float]] = {}
         #: Optional fault injector (see :mod:`repro.faults`); consulted
         #: at data-plane request admission, like a partition server's.
-        self.fault_injector = None
+        self.fault_injector: Optional[Any] = None
+        self.pipeline = RequestPipeline(
+            env,
+            rng,
+            service=name,
+            latency=LatencyProfile(fixed_frac=0.8, jitter_frac=0.2),
+            network=network,
+            owner=self,
+            tracer=tracer,
+        )
         network.add_cap_hook(self._frontend_cap)
+
+    @property
+    def tracer(self) -> Optional[RequestTracer]:
+        return self.pipeline.tracer
 
     # -- per-blob/container links and the front-end service curve ---------
     def download_link(self, container: str, name: str) -> Link:
@@ -173,6 +193,37 @@ class BlobService:
                 return cap
         return None
 
+    def _bump(self, conns: Dict[Link, int], link: Link, delta: int) -> None:
+        conns[link] += delta
+
+    def _download_transfer(
+        self, client: NetworkEndpoint, container: str, name: str, size_mb: float
+    ) -> TransferSpec:
+        link = self.download_link(container, name)
+        return TransferSpec(
+            route=(link, client.nic_rx),
+            size_mb=size_mb,
+            label=f"blob-dl:{name}",
+            acquire=lambda: self._bump(self._download_conns, link, +1),
+            release=lambda: self._bump(self._download_conns, link, -1),
+        )
+
+    def _upload_transfer(
+        self,
+        client: NetworkEndpoint,
+        container: str,
+        size_mb: float,
+        label: str,
+    ) -> TransferSpec:
+        link = self.upload_link(container)
+        return TransferSpec(
+            route=(client.nic_tx, link),
+            size_mb=size_mb,
+            label=label,
+            acquire=lambda: self._bump(self._upload_conns, link, +1),
+            release=lambda: self._bump(self._upload_conns, link, -1),
+        )
+
     # -- administrative -------------------------------------------------------
     def create_container(self, container: str) -> None:
         self._containers.setdefault(container, {})
@@ -184,7 +235,9 @@ class BlobService:
         try:
             return self._containers[container][name]
         except KeyError:
-            raise BlobNotFoundError(f"{container}/{name}") from None
+            raise BlobNotFoundError(
+                f"{container}/{name}", service=self.name
+            ) from None
 
     def seed_blob(self, container: str, name: str, size_mb: float) -> BlobMeta:
         """Administratively create a blob without simulating the upload
@@ -209,12 +262,6 @@ class BlobService:
             for blob in blobs.values()
         )
 
-    def _request_latency(self) -> Generator:
-        base = cal.BLOB_REQUEST_LATENCY_S
-        yield self.env.timeout(
-            base * 0.8 + float(self.rng.exponential(base * 0.2))
-        )
-
     # -- data plane ------------------------------------------------------------
     def upload(
         self,
@@ -233,31 +280,37 @@ class BlobService:
         if size_mb <= 0:
             raise ValueError(f"size_mb must be > 0, got {size_mb}")
         blobs = self._containers.setdefault(container, {})
-        if self.fault_injector is not None:
-            yield from self.fault_injector.intercept(self, _PUT_OP)
-        yield from self._request_latency()
-        if not overwrite and name in blobs:
-            raise BlobAlreadyExistsError(f"{container}/{name}")
-        link = self.upload_link(container)
-        self._upload_conns[link] += 1
-        try:
-            flow = self.network.transfer(
-                (client.nic_tx, link),
-                size_mb,
-                label=f"blob-up:{name}",
+
+        def taken() -> bool:
+            return not overwrite and name in blobs
+
+        def precheck() -> None:
+            if taken():
+                raise BlobAlreadyExistsError(
+                    f"{container}/{name}", service=self.name, op="blob.put"
+                )
+
+        def commit() -> BlobMeta:
+            precheck()  # racing uploads: re-check at commit
+            meta = BlobMeta(
+                container=container, name=name, size_mb=size_mb,
+                created_at=self.env.now,
             )
-            yield flow.done
-        finally:
-            self._upload_conns[link] -= 1
-            self.network.poke()
-        if not overwrite and name in blobs:
-            raise BlobAlreadyExistsError(f"{container}/{name}")
-        meta = BlobMeta(
-            container=container, name=name, size_mb=size_mb,
-            created_at=self.env.now,
+            blobs[name] = meta
+            return meta
+
+        result = yield from self.pipeline.execute(
+            "blob.put",
+            admit=True,
+            admit_op=_PUT_OP,
+            base_latency_s=cal.BLOB_REQUEST_LATENCY_S,
+            precheck=precheck,
+            transfer=lambda: self._upload_transfer(
+                client, container, size_mb, f"blob-up:{name}"
+            ),
+            commit=commit,
         )
-        blobs[name] = meta
-        return meta
+        return result
 
     def download(
         self,
@@ -272,43 +325,69 @@ class BlobService:
         CorruptBlobError at the observed Table-2 rate.
         """
         meta = self.get_meta(container, name)
-        if self.fault_injector is not None:
-            yield from self.fault_injector.intercept(self, _GET_OP)
-        yield from self._request_latency()
-        link = self.download_link(container, name)
-        self._download_conns[link] += 1
-        try:
-            flow = self.network.transfer(
-                (link, client.nic_rx),
-                meta.size_mb,
-                label=f"blob-dl:{name}",
-            )
-            yield flow.done
-        finally:
-            self._download_conns[link] -= 1
-            self.network.poke()
-        if corrupt_probability > 0 and self.rng.random() < corrupt_probability:
-            raise CorruptBlobError(f"{container}/{name}: checksum mismatch")
-        return meta
+
+        def commit() -> BlobMeta:
+            if (
+                corrupt_probability > 0
+                and self.rng.random() < corrupt_probability
+            ):
+                raise CorruptBlobError(
+                    f"{container}/{name}: checksum mismatch",
+                    service=self.name,
+                    op="blob.get",
+                )
+            return meta
+
+        result = yield from self.pipeline.execute(
+            "blob.get",
+            admit=True,
+            admit_op=_GET_OP,
+            base_latency_s=cal.BLOB_REQUEST_LATENCY_S,
+            transfer=lambda: self._download_transfer(
+                client, container, name, meta.size_mb
+            ),
+            commit=commit,
+        )
+        return result
 
     def delete_blob(self, container: str, name: str) -> Generator:
         """Remove a blob."""
-        yield from self._request_latency()
-        blobs = self._containers.get(container, {})
-        if name not in blobs:
-            raise BlobNotFoundError(f"{container}/{name}")
-        del blobs[name]
 
+        def commit() -> None:
+            blobs = self._containers.get(container, {})
+            if name not in blobs:
+                raise BlobNotFoundError(
+                    f"{container}/{name}", service=self.name, op="blob.delete"
+                )
+            del blobs[name]
+
+        yield from self.pipeline.execute(
+            "blob.delete",
+            base_latency_s=cal.BLOB_REQUEST_LATENCY_S,
+            commit=commit,
+        )
 
     # -- extended API: listing, conditional ops, copies, block upload -----
     def list_blobs(self, container: str, prefix: str = "") -> Generator:
         """List blob metadata in a container (one metadata round trip)."""
-        yield from self._request_latency()
-        blobs = self._containers.get(container, {})
-        return sorted(
-            (meta for name, meta in blobs.items() if name.startswith(prefix)),
-            key=lambda m: m.name,
+
+        def commit() -> list:
+            blobs = self._containers.get(container, {})
+            return sorted(
+                (
+                    meta
+                    for name, meta in blobs.items()
+                    if name.startswith(prefix)
+                ),
+                key=lambda m: m.name,
+            )
+
+        result = yield from self.pipeline.execute(
+            "blob.list",
+            base_latency_s=cal.BLOB_REQUEST_LATENCY_S,
+            commit=commit,
         )
+        return result
 
     def download_if_match(
         self,
@@ -320,9 +399,18 @@ class BlobService:
         """Conditional download: fails fast if the blob changed."""
         meta = self.get_meta(container, name)
         if meta.etag != etag:
-            yield from self._request_latency()
-            raise PreconditionFailedError(
-                f"{container}/{name}: etag {meta.etag} != {etag}"
+
+            def fail() -> None:
+                raise PreconditionFailedError(
+                    f"{container}/{name}: etag {meta.etag} != {etag}",
+                    service=self.name,
+                    op="blob.get_if_match",
+                )
+
+            yield from self.pipeline.execute(
+                "blob.get_if_match",
+                base_latency_s=cal.BLOB_REQUEST_LATENCY_S,
+                commit=fail,
             )
         result = yield from self.download(client, container, name)
         return result
@@ -343,18 +431,32 @@ class BlobService:
         """
         src = self.get_meta(container, src_name)
         blobs = self._containers.setdefault(container, {})
-        yield from self._request_latency()
-        if not overwrite and dst_name in blobs:
-            raise BlobAlreadyExistsError(f"{container}/{dst_name}")
-        yield self.env.timeout(src.size_mb / cal.BLOB_SERVER_COPY_MBPS)
-        if not overwrite and dst_name in blobs:
-            raise BlobAlreadyExistsError(f"{container}/{dst_name}")
-        meta = BlobMeta(
-            container=container, name=dst_name, size_mb=src.size_mb,
-            content_token=src.content_token, created_at=self.env.now,
+
+        def precheck() -> None:
+            if not overwrite and dst_name in blobs:
+                raise BlobAlreadyExistsError(
+                    f"{container}/{dst_name}",
+                    service=self.name,
+                    op="blob.copy",
+                )
+
+        def commit() -> BlobMeta:
+            precheck()  # racing copies: re-check at commit
+            meta = BlobMeta(
+                container=container, name=dst_name, size_mb=src.size_mb,
+                content_token=src.content_token, created_at=self.env.now,
+            )
+            blobs[dst_name] = meta
+            return meta
+
+        result = yield from self.pipeline.execute(
+            "blob.copy",
+            base_latency_s=cal.BLOB_REQUEST_LATENCY_S,
+            precheck=precheck,
+            work_s=src.size_mb / cal.BLOB_SERVER_COPY_MBPS,
+            commit=commit,
         )
-        blobs[dst_name] = meta
-        return meta
+        return result
 
     def put_block(
         self,
@@ -367,20 +469,18 @@ class BlobService:
         """Stage one block of a block blob (uncommitted)."""
         if size_mb <= 0:
             raise ValueError(f"size_mb must be > 0, got {size_mb}")
-        yield from self._request_latency()
-        link = self.upload_link(container)
-        self._upload_conns[link] += 1
-        try:
-            flow = self.network.transfer(
-                (client.nic_tx, link),
-                size_mb,
-                label=f"blob-block:{name}/{block_id}",
-            )
-            yield flow.done
-        finally:
-            self._upload_conns[link] -= 1
-            self.network.poke()
-        self._staged.setdefault((container, name), {})[block_id] = size_mb
+
+        def commit() -> None:
+            self._staged.setdefault((container, name), {})[block_id] = size_mb
+
+        yield from self.pipeline.execute(
+            "blob.put_block",
+            base_latency_s=cal.BLOB_REQUEST_LATENCY_S,
+            transfer=lambda: self._upload_transfer(
+                client, container, size_mb, f"blob-block:{name}/{block_id}"
+            ),
+            commit=commit,
+        )
 
     def put_block_list(
         self,
@@ -393,21 +493,36 @@ class BlobService:
         blobs = self._containers.setdefault(container, {})
         staged = self._staged.get((container, name), {})
         missing = [b for b in block_ids if b not in staged]
-        yield from self._request_latency()
-        if missing:
-            raise BlobNotFoundError(
-                f"{container}/{name}: uncommitted blocks missing: {missing}"
+
+        def commit() -> BlobMeta:
+            if missing:
+                raise BlobNotFoundError(
+                    f"{container}/{name}: uncommitted blocks missing:"
+                    f" {missing}",
+                    service=self.name,
+                    op="blob.put_block_list",
+                )
+            if not overwrite and name in blobs:
+                raise BlobAlreadyExistsError(
+                    f"{container}/{name}",
+                    service=self.name,
+                    op="blob.put_block_list",
+                )
+            size = sum(staged[b] for b in block_ids)
+            meta = BlobMeta(
+                container=container, name=name, size_mb=size,
+                created_at=self.env.now,
             )
-        if not overwrite and name in blobs:
-            raise BlobAlreadyExistsError(f"{container}/{name}")
-        size = sum(staged[b] for b in block_ids)
-        meta = BlobMeta(
-            container=container, name=name, size_mb=size,
-            created_at=self.env.now,
+            blobs[name] = meta
+            del self._staged[(container, name)]
+            return meta
+
+        result = yield from self.pipeline.execute(
+            "blob.put_block_list",
+            base_latency_s=cal.BLOB_REQUEST_LATENCY_S,
+            commit=commit,
         )
-        blobs[name] = meta
-        del self._staged[(container, name)]
-        return meta
+        return result
 
     def active_transfers(self) -> Tuple[int, int]:
         """(downloads, uploads) currently in flight."""

@@ -2,16 +2,56 @@
 
 Mirrors the error classes a 2009 Azure StorageClient surfaced, and the
 failure types ModisAzure logged (Table 2 of the paper).
+
+All three services (blob, table, queue) raise from this one hierarchy
+and attach the same context: ``service`` (the service endpoint name,
+e.g. ``"account.tables"``) and ``op`` (the unified op kind, e.g.
+``"table.insert"``).  The message — which is what benches and the
+ModisAzure failure taxonomy record — is independent of the context, so
+attaching it is observability-neutral.
+
+:func:`is_transport_failure` is the single classification rule shared
+by the client retry policy (:class:`repro.resilience.backoff.RetryPolicy`)
+and the circuit breaker (:class:`repro.resilience.breaker.CircuitBreaker`):
+a failure is transport-level (retryable, breaker-counted) exactly when
+its class says so.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class StorageError(Exception):
-    """Base class for all simulated storage-service failures."""
+    """Base class for all simulated storage-service failures.
+
+    Parameters
+    ----------
+    message:
+        Human-readable failure description (becomes ``str(error)``).
+    service / op:
+        Optional context: which service endpoint and which unified op
+        kind raised.  Populated by the request pipeline's op tables so
+        every service reports failures identically.
+    """
 
     #: Whether the client retry policy may retry this failure.
     retryable = False
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        service: Optional[str] = None,
+        op: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.service = service
+        self.op = op
+
+    def context(self) -> str:
+        """``"service/op"`` context string (empty parts omitted)."""
+        return "/".join(p for p in (self.service, self.op) if p)
 
 
 class OperationTimeoutError(StorageError):
@@ -64,3 +104,14 @@ class QueueEmptyError(StorageError):
 
 class MessageNotFoundError(StorageError):
     """Delete-message referenced an unknown or re-queued message."""
+
+
+def is_transport_failure(error: BaseException) -> bool:
+    """True for transport/server-side failures worth retrying.
+
+    The shared classification used by retry policies and the circuit
+    breaker: semantic failures (not-found, already-exists, precondition)
+    are never transport failures; timeouts, 503s, connection drops and
+    corrupt reads are.
+    """
+    return isinstance(error, StorageError) and error.retryable

@@ -28,48 +28,18 @@ produces one of the concurrency effects the paper measured:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Hashable, Optional
+from typing import Any, Callable, Dict, Generator, Hashable, Optional
 
 import numpy as np
 
+from repro.service.spec import OpSpec
 from repro.simcore import Environment, Resource
 from repro.storage.errors import OperationTimeoutError
 
-
-@dataclass(frozen=True)
-class OpSpec:
-    """Resource demands of one storage operation.
-
-    Attributes
-    ----------
-    name:
-        Operation label (metrics only).
-    cpu_s:
-        Mean CPU seconds consumed on the core pool (0 to skip).
-    exclusive_s:
-        Mean seconds holding the exclusive latch named by ``latch_key``.
-    latch_key:
-        Which latch the operation serializes on (None for lock-free ops).
-    payload_mb:
-        Request payload counted against the ingest budget.
-    frontend_scale:
-        Multiplier on the server's per-connection service curve (cheap
-        read paths like queue Peek use < 1).
-    deterministic:
-        If True, service times are used as-is; otherwise they are drawn
-        exponentially around the mean (the default, giving realistic
-        response-time variance).
-    """
-
-    name: str
-    cpu_s: float = 0.0
-    exclusive_s: float = 0.0
-    latch_key: Optional[Hashable] = None
-    payload_mb: float = 0.0
-    frontend_scale: float = 1.0
-    deterministic: bool = False
+#: OpSpec historically lived here; it now belongs to the unified request
+#: path (:mod:`repro.service.spec`) and is re-exported for compatibility.
+__all__ = ["OpSpec", "PartitionServer", "PartitionStats"]
 
 
 @dataclass
@@ -130,7 +100,7 @@ class PartitionServer:
         self.stats = PartitionStats()
         #: Optional fault injector (see :mod:`repro.faults`); consulted
         #: at request admission.
-        self.fault_injector = None
+        self.fault_injector: Optional[Any] = None
 
     # -- introspection -----------------------------------------------------
     @property
@@ -149,8 +119,18 @@ class PartitionServer:
         return latch
 
     # -- execution -----------------------------------------------------------
-    def execute(self, op: OpSpec) -> Generator:
+    def execute(
+        self,
+        op: OpSpec,
+        observer: Optional[Callable[[str, float], None]] = None,
+    ) -> Generator:
         """Process one operation; yields inside the caller's process.
+
+        ``observer``, if given, is called as ``observer(stage, seconds)``
+        with the time the request spent *queued* for the CPU pool
+        (``"cpu_wait"``) and the exclusive latch (``"latch_wait"``).  It
+        is a pure measurement hook: it draws no randomness and schedules
+        nothing, so tracing cannot perturb the simulation.
 
         Raises :class:`OperationTimeoutError` if the request is shed.
         """
@@ -173,7 +153,9 @@ class PartitionServer:
                     self.stats.shed += 1
                     yield env.timeout(self.server_timeout_s)
                     raise OperationTimeoutError(
-                        f"{self.name}: request {op.name} timed out server-side"
+                        f"{self.name}: request {op.name} timed out server-side",
+                        service=self.name,
+                        op=op.name,
                     )
 
             # (1) per-connection front-end service curve.
@@ -188,7 +170,10 @@ class PartitionServer:
             # (2) CPU-pool work.
             if op.cpu_s > 0:
                 with self.cpu.request() as slot:
+                    queued_at = env.now
                     yield slot
+                    if observer is not None:
+                        observer("cpu_wait", env.now - queued_at)
                     work = self._jitter(op.cpu_s, op)
                     self.stats.busy_cpu_s += work
                     yield env.timeout(work)
@@ -200,7 +185,10 @@ class PartitionServer:
                         f"op {op.name!r} has exclusive_s but no latch_key"
                     )
                 with self.latch(op.latch_key).request() as grant:
+                    queued_at = env.now
                     yield grant
+                    if observer is not None:
+                        observer("latch_wait", env.now - queued_at)
                     yield env.timeout(self._jitter(op.exclusive_s, op))
 
             self.stats.completed += 1

@@ -19,6 +19,12 @@ Queues provide the loose coupling between web and worker roles
 Operation cost is O(1) in queue length (Section 3.3 found no variation
 from 200 k to 2 M messages), which the model preserves by tracking a
 visible-head cursor instead of scanning.
+
+Every operation is one pass through the shared
+:class:`~repro.service.pipeline.RequestPipeline`: base latency, routing
+to the queue's partition server, the op's :class:`OpSpec`, then the
+commit that mutates queue state (dequeue bookkeeping, visibility
+re-indexing, receipt validation).
 """
 
 from __future__ import annotations
@@ -26,11 +32,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
 from repro import calibration as cal
+from repro.service.pipeline import LatencyProfile, RequestPipeline
+from repro.service.tracing import RequestTracer
 from repro.simcore import Environment
 from repro.storage.errors import MessageNotFoundError, QueueEmptyError
 from repro.storage.partition import OpSpec, PartitionServer
@@ -99,12 +107,29 @@ class QueueService:
         env: Environment,
         rng: np.random.Generator,
         name: str = "queues",
+        tracer: Optional[RequestTracer] = None,
     ) -> None:
         self.env = env
         self.rng = rng
         self.name = name
+        #: Optional fault injector (see :mod:`repro.faults`); consulted
+        #: at request admission by drills that target the whole service.
+        self.fault_injector: Optional[Any] = None
         self._queues: Dict[str, _QueueState] = {}
         self._servers: Dict[str, PartitionServer] = {}
+        self.pipeline = RequestPipeline(
+            env,
+            rng,
+            service=name,
+            latency=LatencyProfile(fixed_frac=0.85, jitter_frac=0.15),
+            router=self.server_for,
+            owner=self,
+            tracer=tracer,
+        )
+
+    @property
+    def tracer(self) -> Optional[RequestTracer]:
+        return self.pipeline.tracer
 
     # -- administrative ------------------------------------------------------
     def create_queue(self, queue: str) -> None:
@@ -130,7 +155,9 @@ class QueueService:
     def _state(self, queue: str) -> _QueueState:
         state = self._queues.get(queue)
         if state is None:
-            raise QueueEmptyError(f"queue {queue!r} does not exist")
+            raise QueueEmptyError(
+                f"queue {queue!r} does not exist", service=self.name
+            )
         return state
 
     def _op(self, queue: str, kind: str, size_kb: float) -> OpSpec:
@@ -150,47 +177,7 @@ class QueueService:
             ),
         )
 
-    def _base(self, kind: str) -> Generator:
-        base = cal.QUEUE_BASE_LATENCY_S[kind]
-        yield self.env.timeout(
-            float(self.rng.exponential(base * 0.15)) + base * 0.85
-        )
-
-    # -- data plane ------------------------------------------------------------
-    def add(self, queue: str, payload: object, size_kb: float = 0.5) -> Generator:
-        """Append a message; returns the QueueMessage."""
-        state = self._state(queue)
-        yield from self._base("add")
-        yield from self.server_for(queue).execute(self._op(queue, "add", size_kb))
-        msg = QueueMessage(
-            payload=payload,
-            size_kb=size_kb,
-            enqueued_at=self.env.now,
-            visible_at=self.env.now,
-        )
-        state.push(msg)
-        return msg
-
-    def peek(self, queue: str) -> Generator:
-        """Return the frontmost visible message without dequeuing.
-
-        Raises QueueEmptyError when nothing is visible.
-        """
-        state = self._state(queue)
-        yield from self._base("peek")
-        yield from self.server_for(queue).execute(self._op(queue, "peek", 0.1))
-        msg = state.front_visible(self.env.now)
-        if msg is None:
-            raise QueueEmptyError(f"queue {queue!r} has no visible messages")
-        return msg
-
-    def receive(
-        self,
-        queue: str,
-        visibility_timeout_s: Optional[float] = None,
-    ) -> Generator:
-        """Dequeue the frontmost visible message, hiding it for the
-        visibility timeout.  Raises QueueEmptyError if none is visible."""
+    def _validated_visibility(self, visibility_timeout_s: Optional[float]) -> float:
         vt = (
             self.DEFAULT_VISIBILITY_TIMEOUT_S
             if visibility_timeout_s is None
@@ -201,19 +188,93 @@ class QueueService:
                 "visibility timeout must be in (0, "
                 f"{cal.QUEUE_MAX_VISIBILITY_TIMEOUT_S}] seconds"
             )
-        state = self._state(queue)
-        yield from self._base("receive")
-        yield from self.server_for(queue).execute(
-            self._op(queue, "receive", 0.5)
-        )
-        msg = state.front_visible(self.env.now)
-        if msg is None:
-            raise QueueEmptyError(f"queue {queue!r} has no visible messages")
+        return vt
+
+    def _dequeue(self, state: _QueueState, msg: QueueMessage, vt: float) -> None:
         msg.visible_at = self.env.now + vt
         msg.dequeue_count += 1
         msg.pop_receipt = next(_receipts)
         state.push(msg)  # re-index under the new visibility time
-        return msg
+
+    # -- data plane ------------------------------------------------------------
+    def add(self, queue: str, payload: object, size_kb: float = 0.5) -> Generator:
+        """Append a message; returns the QueueMessage."""
+        state = self._state(queue)
+
+        def commit() -> QueueMessage:
+            msg = QueueMessage(
+                payload=payload,
+                size_kb=size_kb,
+                enqueued_at=self.env.now,
+                visible_at=self.env.now,
+            )
+            state.push(msg)
+            return msg
+
+        result = yield from self.pipeline.execute(
+            "queue.add",
+            self._op(queue, "add", size_kb),
+            base_latency_s=cal.QUEUE_BASE_LATENCY_S["add"],
+            route=queue,
+            commit=commit,
+        )
+        return result
+
+    def peek(self, queue: str) -> Generator:
+        """Return the frontmost visible message without dequeuing.
+
+        Raises QueueEmptyError when nothing is visible.
+        """
+        state = self._state(queue)
+
+        def commit() -> QueueMessage:
+            msg = state.front_visible(self.env.now)
+            if msg is None:
+                raise QueueEmptyError(
+                    f"queue {queue!r} has no visible messages",
+                    service=self.name,
+                    op="queue.peek",
+                )
+            return msg
+
+        result = yield from self.pipeline.execute(
+            "queue.peek",
+            self._op(queue, "peek", 0.1),
+            base_latency_s=cal.QUEUE_BASE_LATENCY_S["peek"],
+            route=queue,
+            commit=commit,
+        )
+        return result
+
+    def receive(
+        self,
+        queue: str,
+        visibility_timeout_s: Optional[float] = None,
+    ) -> Generator:
+        """Dequeue the frontmost visible message, hiding it for the
+        visibility timeout.  Raises QueueEmptyError if none is visible."""
+        vt = self._validated_visibility(visibility_timeout_s)
+        state = self._state(queue)
+
+        def commit() -> QueueMessage:
+            msg = state.front_visible(self.env.now)
+            if msg is None:
+                raise QueueEmptyError(
+                    f"queue {queue!r} has no visible messages",
+                    service=self.name,
+                    op="queue.receive",
+                )
+            self._dequeue(state, msg, vt)
+            return msg
+
+        result = yield from self.pipeline.execute(
+            "queue.receive",
+            self._op(queue, "receive", 0.5),
+            base_latency_s=cal.QUEUE_BASE_LATENCY_S["receive"],
+            route=queue,
+            commit=commit,
+        )
+        return result
 
     def receive_batch(
         self,
@@ -232,22 +293,24 @@ class QueueService:
         """
         if not 1 <= max_messages <= 32:
             raise ValueError("max_messages must be in [1, 32]")
-        vt = (
-            self.DEFAULT_VISIBILITY_TIMEOUT_S
-            if visibility_timeout_s is None
-            else float(visibility_timeout_s)
-        )
-        if not 0 < vt <= cal.QUEUE_MAX_VISIBILITY_TIMEOUT_S:
-            raise ValueError(
-                "visibility timeout must be in (0, "
-                f"{cal.QUEUE_MAX_VISIBILITY_TIMEOUT_S}] seconds"
-            )
+        vt = self._validated_visibility(visibility_timeout_s)
         state = self._state(queue)
-        yield from self._base("receive")
         # The batch holds the head latch once; marshalling cost grows
         # with the batch size.
         op = self._op(queue, "receive", 0.5)
-        yield from self.server_for(queue).execute(
+
+        def commit() -> List[QueueMessage]:
+            batch: List[QueueMessage] = []
+            while len(batch) < max_messages:
+                msg = state.front_visible(self.env.now)
+                if msg is None:
+                    break
+                self._dequeue(state, msg, vt)
+                batch.append(msg)
+            return batch
+
+        result = yield from self.pipeline.execute(
+            "queue.receive_batch",
             OpSpec(
                 name="queue.receive_batch",
                 cpu_s=op.cpu_s * (1 + 0.15 * (max_messages - 1)),
@@ -255,19 +318,12 @@ class QueueService:
                 latch_key=op.latch_key,
                 payload_mb=op.payload_mb * max_messages,
                 frontend_scale=op.frontend_scale,
-            )
+            ),
+            base_latency_s=cal.QUEUE_BASE_LATENCY_S["receive"],
+            route=queue,
+            commit=commit,
         )
-        batch = []
-        while len(batch) < max_messages:
-            msg = state.front_visible(self.env.now)
-            if msg is None:
-                break
-            msg.visible_at = self.env.now + vt
-            msg.dequeue_count += 1
-            msg.pop_receipt = next(_receipts)
-            state.push(msg)
-            batch.append(msg)
-        return batch
+        return result
 
     def delete(self, queue: str, message: QueueMessage, pop_receipt: int) -> Generator:
         """Remove a received message permanently.
@@ -276,15 +332,28 @@ class QueueService:
         re-received elsewhere) -- the hazard Section 5.2 describes.
         """
         state = self._state(queue)
-        yield from self._base("receive")
-        yield from self.server_for(queue).execute(
-            self._op(queue, "receive", 0.1)
+
+        def commit() -> None:
+            current = state.messages.get(message.id)
+            if current is None or current.deleted:
+                raise MessageNotFoundError(
+                    f"message {message.id} not found",
+                    service=self.name,
+                    op="queue.delete",
+                )
+            if current.pop_receipt != pop_receipt:
+                raise MessageNotFoundError(
+                    f"stale pop receipt for message {message.id}",
+                    service=self.name,
+                    op="queue.delete",
+                )
+            current.deleted = True
+
+        # Delete shares the receive cost model (head-index touch).
+        yield from self.pipeline.execute(
+            "queue.delete",
+            self._op(queue, "receive", 0.1),
+            base_latency_s=cal.QUEUE_BASE_LATENCY_S["receive"],
+            route=queue,
+            commit=commit,
         )
-        current = state.messages.get(message.id)
-        if current is None or current.deleted:
-            raise MessageNotFoundError(f"message {message.id} not found")
-        if current.pop_receipt != pop_receipt:
-            raise MessageNotFoundError(
-                f"stale pop receipt for message {message.id}"
-            )
-        current.deleted = True

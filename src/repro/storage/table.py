@@ -6,6 +6,14 @@ a single partition -- Insert, Query (keyed), Update (unconditional, same
 entity from every client) and Delete -- with entity sizes 1-64 kB, and
 additionally property-filter queries that scan the partition (Section
 6.1).  Each table partition is served by one :class:`PartitionServer`.
+
+Every operation is one pass through the shared
+:class:`~repro.service.pipeline.RequestPipeline`: base latency, routing
+to the partition server for the (table, PartitionKey) range, the op's
+:class:`OpSpec` on that server, then the commit that mutates table
+state.  Ops that size themselves from current state (query/delete pay
+for the bytes they touch) build their spec lazily, after the base
+latency, exactly where the pre-pipeline code did.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 import numpy as np
 
 from repro import calibration as cal
+from repro.service.pipeline import LatencyProfile, RequestPipeline
+from repro.service.tracing import RequestTracer
 from repro.simcore import Environment
 from repro.storage.errors import (
     EntityAlreadyExistsError,
@@ -56,15 +66,32 @@ class TableService:
         env: Environment,
         rng: np.random.Generator,
         name: str = "tables",
+        tracer: Optional[RequestTracer] = None,
     ) -> None:
         self.env = env
         self.rng = rng
         self.name = name
+        #: Optional fault injector (see :mod:`repro.faults`); consulted
+        #: at request admission by drills that target the whole service.
+        self.fault_injector: Optional[Any] = None
         # One partition server per (table, partition key) range.  The
         # paper's workload uses a single partition, so contention
         # concentrates exactly as it did in the measurement.
         self._servers: Dict[Tuple[str, str], PartitionServer] = {}
         self._tables: Dict[str, Dict[Tuple[str, str], Entity]] = {}
+        self.pipeline = RequestPipeline(
+            env,
+            rng,
+            service=name,
+            latency=LatencyProfile(fixed_frac=0.85, jitter_frac=0.15),
+            router=lambda key: self.server_for(*key),
+            owner=self,
+            tracer=tracer,
+        )
+
+    @property
+    def tracer(self) -> Optional[RequestTracer]:
+        return self.pipeline.tracer
 
     # -- administrative ------------------------------------------------------
     def create_table(self, table: str) -> None:
@@ -99,7 +126,9 @@ class TableService:
     def _entities(self, table: str) -> Dict[Tuple[str, str], Entity]:
         rows = self._tables.get(table)
         if rows is None:
-            raise EntityNotFoundError(f"table {table!r} does not exist")
+            raise EntityNotFoundError(
+                f"table {table!r} does not exist", service=self.name
+            )
         return rows
 
     def _op(self, kind: str, size_kb: float, latch_key: Any) -> OpSpec:
@@ -111,37 +140,62 @@ class TableService:
             payload_mb=size_kb / 1024.0,
         )
 
-    def _base(self, kind: str) -> Generator:
-        # Client<->server RTT plus the fixed request path.
-        base = cal.TABLE_BASE_LATENCY_S[kind]
-        yield self.env.timeout(float(self.rng.exponential(base * 0.15)) + base * 0.85)
-
     # -- data plane ------------------------------------------------------------
     def insert(self, table: str, entity: Entity) -> Generator:
         """Insert a new entity; fails if the key already exists."""
         rows = self._entities(table)
-        yield from self._base("insert")
-        server = self.server_for(table, entity.partition_key)
-        yield from server.execute(
-            self._op("insert", entity.size_kb, latch_key="index")
+
+        def commit() -> Entity:
+            if entity.key in rows:
+                raise EntityAlreadyExistsError(
+                    f"{entity.key} already exists",
+                    service=self.name,
+                    op="table.insert",
+                )
+            entity.timestamp = self.env.now
+            rows[entity.key] = entity
+            return entity
+
+        result = yield from self.pipeline.execute(
+            "table.insert",
+            self._op("insert", entity.size_kb, latch_key="index"),
+            base_latency_s=cal.TABLE_BASE_LATENCY_S["insert"],
+            route=(table, entity.partition_key),
+            commit=commit,
         )
-        if entity.key in rows:
-            raise EntityAlreadyExistsError(f"{entity.key} already exists")
-        entity.timestamp = self.env.now
-        rows[entity.key] = entity
-        return entity
+        return result
 
     def query(self, table: str, partition_key: str, row_key: str) -> Generator:
         """Point query by PartitionKey + RowKey (the fast, indexed path)."""
         rows = self._entities(table)
-        yield from self._base("query")
-        server = self.server_for(table, partition_key)
-        found = rows.get((partition_key, row_key))
-        size_kb = found.size_kb if found else 0.5
-        yield from server.execute(self._op("query", size_kb, latch_key=None))
-        if found is None:
-            raise EntityNotFoundError(f"({partition_key}, {row_key}) not found")
-        return found
+        found: List[Optional[Entity]] = [None]
+
+        def op() -> OpSpec:
+            # Sized from the entity as it exists after the base latency
+            # (you pay for the bytes the lookup touches).
+            found[0] = hit = rows.get((partition_key, row_key))
+            return self._op(
+                "query", hit.size_kb if hit else 0.5, latch_key=None
+            )
+
+        def commit() -> Entity:
+            hit = found[0]
+            if hit is None:
+                raise EntityNotFoundError(
+                    f"({partition_key}, {row_key}) not found",
+                    service=self.name,
+                    op="table.query",
+                )
+            return hit
+
+        result = yield from self.pipeline.execute(
+            "table.query",
+            op,
+            base_latency_s=cal.TABLE_BASE_LATENCY_S["query"],
+            route=(table, partition_key),
+            commit=commit,
+        )
+        return result
 
     def update(
         self,
@@ -153,36 +207,66 @@ class TableService:
         update the paper tests (no atomicity enforcement across clients,
         but the server still serializes writes to one entity)."""
         rows = self._entities(table)
-        yield from self._base("update")
-        server = self.server_for(table, entity.partition_key)
-        yield from server.execute(
-            self._op("update", entity.size_kb, latch_key=("entity", entity.key))
+
+        def commit() -> Entity:
+            current = rows.get(entity.key)
+            if current is None:
+                raise EntityNotFoundError(
+                    f"{entity.key} not found",
+                    service=self.name,
+                    op="table.update",
+                )
+            if if_match is not None and current.etag != if_match:
+                raise PreconditionFailedError(
+                    f"etag mismatch on {entity.key}:"
+                    f" {current.etag} != {if_match}",
+                    service=self.name,
+                    op="table.update",
+                )
+            entity.etag = next(_etags)
+            entity.timestamp = self.env.now
+            rows[entity.key] = entity
+            return entity
+
+        result = yield from self.pipeline.execute(
+            "table.update",
+            self._op(
+                "update", entity.size_kb, latch_key=("entity", entity.key)
+            ),
+            base_latency_s=cal.TABLE_BASE_LATENCY_S["update"],
+            route=(table, entity.partition_key),
+            commit=commit,
         )
-        current = rows.get(entity.key)
-        if current is None:
-            raise EntityNotFoundError(f"{entity.key} not found")
-        if if_match is not None and current.etag != if_match:
-            raise PreconditionFailedError(
-                f"etag mismatch on {entity.key}: {current.etag} != {if_match}"
-            )
-        entity.etag = next(_etags)
-        entity.timestamp = self.env.now
-        rows[entity.key] = entity
-        return entity
+        return result
 
     def delete(self, table: str, partition_key: str, row_key: str) -> Generator:
         """Delete an entity by key."""
         rows = self._entities(table)
-        yield from self._base("delete")
-        server = self.server_for(table, partition_key)
-        found = rows.get((partition_key, row_key))
-        size_kb = found.size_kb if found else 0.5
-        yield from server.execute(
-            self._op("delete", size_kb, latch_key="index")
+        found: List[Optional[Entity]] = [None]
+
+        def op() -> OpSpec:
+            found[0] = hit = rows.get((partition_key, row_key))
+            return self._op(
+                "delete", hit.size_kb if hit else 0.5, latch_key="index"
+            )
+
+        def commit() -> None:
+            hit = found[0]
+            if hit is None:
+                raise EntityNotFoundError(
+                    f"({partition_key}, {row_key}) not found",
+                    service=self.name,
+                    op="table.delete",
+                )
+            del rows[hit.key]
+
+        yield from self.pipeline.execute(
+            "table.delete",
+            op,
+            base_latency_s=cal.TABLE_BASE_LATENCY_S["delete"],
+            route=(table, partition_key),
+            commit=commit,
         )
-        if found is None:
-            raise EntityNotFoundError(f"({partition_key}, {row_key}) not found")
-        del rows[found.key]
 
     def insert_batch(self, table: str, entities: List[Entity]) -> Generator:
         """Entity Group Transaction: insert up to 100 entities of ONE
@@ -205,11 +289,24 @@ class TableService:
         if len(set(keys)) != len(keys):
             raise ValueError("duplicate keys within batch")
         rows = self._entities(table)
-        yield from self._base("insert")
         partition_key = next(iter(partition_keys))
-        server = self.server_for(table, partition_key)
         total_kb = sum(e.size_kb for e in entities)
-        yield from server.execute(
+
+        def commit() -> List[Entity]:
+            conflicts = [key for key in keys if key in rows]
+            if conflicts:
+                raise EntityAlreadyExistsError(
+                    f"batch aborted: {conflicts[0]} already exists",
+                    service=self.name,
+                    op="table.insert_batch",
+                )
+            for entity in entities:
+                entity.timestamp = self.env.now
+                rows[entity.key] = entity
+            return entities
+
+        result = yield from self.pipeline.execute(
+            "table.insert_batch",
             OpSpec(
                 name="table.insert_batch",
                 cpu_s=(
@@ -219,17 +316,12 @@ class TableService:
                 exclusive_s=cal.TABLE_EXCLUSIVE_S["insert"],
                 latch_key="index",
                 payload_mb=total_kb / 1024.0,
-            )
+            ),
+            base_latency_s=cal.TABLE_BASE_LATENCY_S["insert"],
+            route=(table, partition_key),
+            commit=commit,
         )
-        conflicts = [key for key in keys if key in rows]
-        if conflicts:
-            raise EntityAlreadyExistsError(
-                f"batch aborted: {conflicts[0]} already exists"
-            )
-        for entity in entities:
-            entity.timestamp = self.env.now
-            rows[entity.key] = entity
-        return entities
+        return result
 
     def query_by_property(
         self,
@@ -241,12 +333,18 @@ class TableService:
         indexes exist -- Section 6.1), so cost grows with partition size
         and the scan occupies a CPU core for its duration."""
         rows = self._entities(table)
-        yield from self._base("query")
-        server = self.server_for(table, partition_key)
-        in_partition = [e for e in rows.values() if e.partition_key == partition_key]
-        scan_cpu = cal.TABLE_SCAN_S_PER_1K_ENTITIES * (len(in_partition) / 1000.0)
-        yield from server.execute(
-            OpSpec(
+        scanned: List[List[Entity]] = [[]]
+
+        def op() -> OpSpec:
+            # The scan set is captured after the base latency; its size
+            # sets the CPU cost.
+            scanned[0] = in_partition = [
+                e for e in rows.values() if e.partition_key == partition_key
+            ]
+            scan_cpu = cal.TABLE_SCAN_S_PER_1K_ENTITIES * (
+                len(in_partition) / 1000.0
+            )
+            return OpSpec(
                 name="table.scan",
                 cpu_s=cal.TABLE_CPU_S["query"] + scan_cpu,
                 payload_mb=0.001,
@@ -254,8 +352,15 @@ class TableService:
                 # jitter, so it is deterministic per partition size.
                 deterministic=True,
             )
+
+        result = yield from self.pipeline.execute(
+            "table.scan",
+            op,
+            base_latency_s=cal.TABLE_BASE_LATENCY_S["query"],
+            route=(table, partition_key),
+            commit=lambda: [e for e in scanned[0] if predicate(e)],
         )
-        return [e for e in in_partition if predicate(e)]
+        return result
 
 
 def make_entity(

@@ -4,6 +4,11 @@ Protocol (Section 3.1): ``n`` worker-role clients simultaneously
 download the *same* 1 GB blob (download test) or upload 1 GB each under
 *distinct* names into the same container (upload test); report average
 per-client bandwidth and the aggregate service-side throughput.
+
+Runs on the unified harness in :mod:`repro.workloads.harness`
+(:func:`~repro.workloads.harness.run_clients` /
+:func:`~repro.workloads.harness.sweep`), like the table and queue
+benches.
 """
 
 from __future__ import annotations
@@ -13,8 +18,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro import calibration as cal
 from repro.client import BlobClient
-from repro.parallel import run_trials
-from repro.workloads.harness import Platform, build_platform
+from repro.workloads.harness import (
+    Platform,
+    build_platform,
+    run_clients,
+    sweep,
+)
 
 
 @dataclass
@@ -66,11 +75,7 @@ def run_blob_test(
             yield from client.upload("bench", f"up-{idx}", size_mb)
         result.per_client_mbps.append(size_mb / (env.now - start))
 
-    for idx in range(n_clients):
-        p.env.process(client_proc(p.env, idx))
-    start = p.env.now
-    p.env.run()
-    result.makespan_s = p.env.now - start
+    result.makespan_s = run_clients(p, n_clients, client_proc)
     return result
 
 
@@ -87,9 +92,9 @@ def sweep_blob(
     processes (``1`` = in-process, ``None`` = auto); results are merged
     in level order and are bit-identical for any jobs value.
     """
-    results = run_trials(
+    return sweep(
         run_blob_test,
         [(direction, n, size_mb, seed + n) for n in levels],
+        levels,
         jobs=jobs,
     )
-    return dict(zip(levels, results))

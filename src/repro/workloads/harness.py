@@ -1,11 +1,31 @@
-"""Shared experiment scaffolding: one simulated platform per trial."""
+"""Shared experiment scaffolding: one simulated platform per trial.
+
+Besides :func:`build_platform`, this module is the single harness the
+storage benchmarks (fig1/fig2/fig3) run on:
+
+* :class:`ClientRun` — the per-client outcome row every bench records;
+* :func:`run_clients` — spawn one process per client (in index order,
+  which fixes the event schedule) and run the platform to quiescence;
+* :func:`measured_loop` — the abort-on-first-error op loop the paper's
+  benchmark programs used ("only 89 clients successfully finished all
+  500 insert operations" is this presentation);
+* :func:`sweep` — fan one trial function across concurrency levels via
+  :func:`repro.parallel.run_trials` (bit-identical for any ``jobs``).
+
+Every platform carries the storage account's shared
+:class:`~repro.service.tracing.RequestTracer`, so any bench run on the
+harness emits per-request trace records retrievable through
+:mod:`repro.monitoring`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.network import Datacenter, FlowNetwork, LatencyModel
+from repro.parallel import run_trials
+from repro.service.tracing import RequestTracer
 from repro.simcore import Environment, RandomStreams
 from repro.storage import StorageAccount
 
@@ -23,6 +43,9 @@ class Platform:
     #: Per-client network endpoints (each on its own host, as the
     #: paper's worker-role test clients were).
     clients: List["HostEndpoint"] = field(default_factory=list)
+    #: The account's shared per-request trace log (see
+    #: :mod:`repro.service.tracing`); read via :mod:`repro.monitoring`.
+    tracer: Optional[RequestTracer] = None
 
 
 class HostEndpoint:
@@ -65,4 +88,83 @@ def build_platform(
         account=account,
         latency=latency,
         clients=clients,
+        tracer=account.tracer,
     )
+
+
+# -- the unified bench harness -------------------------------------------
+
+
+@dataclass
+class ClientRun:
+    """One client's result for one measured run (or phase) of a bench."""
+
+    client: int
+    ops_completed: int
+    elapsed_s: float
+    error: Optional[str] = None
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.ops_completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.error is None
+
+
+def run_clients(
+    platform: Platform,
+    n_clients: int,
+    make_proc: Callable[[Environment, int], Generator],
+) -> float:
+    """Drive one client population to completion; returns the makespan.
+
+    Processes are created in client-index order before the run starts —
+    the creation order fixes the event schedule, so it is part of the
+    bit-reproducibility contract.
+    """
+    env = platform.env
+    start = env.now
+    for idx in range(n_clients):
+        env.process(make_proc(env, idx))
+    env.run()
+    return env.now - start
+
+
+def measured_loop(
+    env: Environment,
+    idx: int,
+    n_ops: int,
+    make_op: Callable[[int], Generator],
+    outcomes: List[ClientRun],
+    outcome_cls: type = ClientRun,
+) -> Generator:
+    """The paper's benchmark client loop: run ``n_ops`` operations,
+    aborting the whole run at the first storage exception, and append
+    one ``outcome_cls`` row recording how far this client got."""
+    start = env.now
+    completed = 0
+    error = None
+    try:
+        for op_i in range(n_ops):
+            yield from make_op(op_i)
+            completed += 1
+    except Exception as exc:  # noqa: BLE001 - benchmark aborts on error
+        error = type(exc).__name__
+    outcomes.append(outcome_cls(idx, completed, env.now - start, error))
+
+
+def sweep(
+    run_trial: Callable,
+    params: Sequence[Tuple],
+    levels: Sequence[int],
+    jobs: Optional[int] = 1,
+) -> Dict[int, object]:
+    """Fan independent per-level trials across worker processes.
+
+    ``params[i]`` is the positional-argument tuple for ``levels[i]``;
+    results are merged in level order and are bit-identical for any
+    ``jobs`` value (``1`` = in-process, ``None`` = auto).
+    """
+    return dict(zip(levels, run_trials(run_trial, params, jobs=jobs)))

@@ -4,6 +4,11 @@ Protocol (Section 3.3): one queue shared by ``n`` worker roles; measure
 Add, Peek and Receive separately at message sizes 0.5-8 kB.  Peek and
 Receive run against a deep pre-filled queue (the paper also checked that
 depth, 200 k vs 2 M messages, does not matter).
+
+Runs on the unified harness in :mod:`repro.workloads.harness`
+(:func:`~repro.workloads.harness.measured_loop` /
+:func:`~repro.workloads.harness.sweep`), like the blob and table
+benches.
 """
 
 from __future__ import annotations
@@ -13,24 +18,22 @@ from typing import Dict, List, Optional, Sequence
 
 from repro import calibration as cal
 from repro.client import QueueClient
-from repro.client.retry import NO_RETRY
-from repro.parallel import run_trials
+from repro.resilience.backoff import NO_RETRY
 from repro.storage.queue import QueueMessage
-from repro.workloads.harness import Platform, build_platform
+from repro.workloads.harness import (
+    ClientRun,
+    Platform,
+    build_platform,
+    measured_loop,
+    run_clients,
+    sweep,
+)
 
 OPERATIONS = ("add", "peek", "receive")
 
 
-@dataclass
-class ClientOutcome:
-    client: int
-    ops_completed: int
-    elapsed_s: float
-    error: Optional[str] = None
-
-    @property
-    def ops_per_s(self) -> float:
-        return self.ops_completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+class ClientOutcome(ClientRun):
+    """One client's result for one operation run."""
 
 
 @dataclass
@@ -87,31 +90,24 @@ def run_queue_test(
 
     def client_proc(env, idx):
         client = QueueClient(svc, retry=NO_RETRY)
-        start = env.now
-        completed = 0
-        error = None
-        try:
-            for i in range(ops_per_client):
-                if operation == "add":
-                    yield from client.add("bench", f"m-{idx}-{i}", message_kb)
-                elif operation == "peek":
-                    yield from client.peek("bench")
-                else:
-                    # Long visibility so re-receives don't recycle messages
-                    # within the measurement window.
-                    yield from client.receive(
-                        "bench", visibility_timeout_s=7200.0
-                    )
-                completed += 1
-        except Exception as exc:  # noqa: BLE001 - abort on first error
-            error = type(exc).__name__
-        result.outcomes.append(
-            ClientOutcome(idx, completed, env.now - start, error)
+
+        def one_op(i):
+            if operation == "add":
+                yield from client.add("bench", f"m-{idx}-{i}", message_kb)
+            elif operation == "peek":
+                yield from client.peek("bench")
+            else:
+                # Long visibility so re-receives don't recycle messages
+                # within the measurement window.
+                yield from client.receive(
+                    "bench", visibility_timeout_s=7200.0
+                )
+
+        yield from measured_loop(
+            env, idx, ops_per_client, one_op, result.outcomes, ClientOutcome
         )
 
-    for idx in range(n_clients):
-        p.env.process(client_proc(p.env, idx))
-    p.env.run()
+    run_clients(p, n_clients, client_proc)
     return result
 
 
@@ -129,10 +125,10 @@ def sweep_queue(
     processes (``1`` = in-process, ``None`` = auto); results are merged
     in level order and are bit-identical for any jobs value.
     """
-    results = run_trials(
+    return sweep(
         run_queue_test,
         [(operation, n, message_kb, ops_per_client, None, seed + n)
          for n in levels],
+        levels,
         jobs=jobs,
     )
-    return dict(zip(levels, results))

@@ -11,6 +11,11 @@ The benchmark program (like the authors') aborts a client's phase at the
 first storage exception, which is how "only 89 clients successfully
 finished all 500 insert operations" presents.  Raw service behaviour is
 wanted, so the driver runs with retries disabled.
+
+Runs on the unified harness in :mod:`repro.workloads.harness`
+(:func:`~repro.workloads.harness.measured_loop` /
+:func:`~repro.workloads.harness.sweep`), like the blob and queue
+benches.
 """
 
 from __future__ import annotations
@@ -20,30 +25,22 @@ from typing import Dict, List, Optional, Sequence
 
 from repro import calibration as cal
 from repro.client import TableClient
-from repro.client.retry import NO_RETRY
-from repro.parallel import run_trials
+from repro.resilience.backoff import NO_RETRY
 from repro.storage.table import make_entity
-from repro.workloads.harness import Platform, build_platform
+from repro.workloads.harness import (
+    ClientRun,
+    Platform,
+    build_platform,
+    measured_loop,
+    run_clients,
+    sweep,
+)
 
 PHASES = ("insert", "query", "update", "delete")
 
 
-@dataclass
-class PhaseOutcome:
+class PhaseOutcome(ClientRun):
     """One client's result for one phase."""
-
-    client: int
-    ops_completed: int
-    elapsed_s: float
-    error: Optional[str] = None
-
-    @property
-    def ops_per_s(self) -> float:
-        return self.ops_completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
-
-    @property
-    def finished(self) -> bool:
-        return self.error is None
 
 
 @dataclass
@@ -92,40 +89,39 @@ def run_table_test(
 
     def phase_proc(env, phase, idx, outcomes):
         client = TableClient(svc, retry=NO_RETRY)
-        start = env.now
-        completed = 0
-        error = None
-        try:
-            for op_i in range(ops[phase]):
-                if phase == "insert":
-                    yield from client.insert(
-                        "bench",
-                        make_entity(
-                            "bench-pk", f"c{idx}-r{op_i}", size_kb=entity_kb
-                        ),
-                    )
-                elif phase == "query":
-                    yield from client.query("bench", *shared_key)
-                elif phase == "update":
-                    yield from client.update(
-                        "bench", make_entity(*shared_key, size_kb=entity_kb)
-                    )
-                else:
-                    yield from client.delete(
-                        "bench", "bench-pk", f"c{idx}-r{op_i}"
-                    )
-                completed += 1
-        except Exception as exc:  # noqa: BLE001 - benchmark aborts on error
-            error = type(exc).__name__
-        outcomes.append(
-            PhaseOutcome(idx, completed, env.now - start, error)
+
+        def one_op(op_i):
+            if phase == "insert":
+                yield from client.insert(
+                    "bench",
+                    make_entity(
+                        "bench-pk", f"c{idx}-r{op_i}", size_kb=entity_kb
+                    ),
+                )
+            elif phase == "query":
+                yield from client.query("bench", *shared_key)
+            elif phase == "update":
+                yield from client.update(
+                    "bench", make_entity(*shared_key, size_kb=entity_kb)
+                )
+            else:
+                yield from client.delete(
+                    "bench", "bench-pk", f"c{idx}-r{op_i}"
+                )
+
+        yield from measured_loop(
+            env, idx, ops[phase], one_op, outcomes, PhaseOutcome
         )
 
     for phase in PHASES:
         outcomes: List[PhaseOutcome] = []
-        for idx in range(n_clients):
-            p.env.process(phase_proc(p.env, phase, idx, outcomes))
-        p.env.run()
+        run_clients(
+            p,
+            n_clients,
+            lambda env, idx, phase=phase, out=outcomes: phase_proc(
+                env, phase, idx, out
+            ),
+        )
         result.phases[phase] = outcomes
     return result
 
@@ -143,12 +139,12 @@ def sweep_table(
     processes (``1`` = in-process, ``None`` = auto); results are merged
     in level order and are bit-identical for any jobs value.
     """
-    results = run_trials(
+    return sweep(
         run_table_test,
         [(n, entity_kb, ops_per_client, seed + n) for n in levels],
+        levels,
         jobs=jobs,
     )
-    return dict(zip(levels, results))
 
 
 @dataclass
@@ -197,9 +193,7 @@ def run_property_filter_test(
         except Exception:  # noqa: BLE001 - timeout is the expected failure
             outcomes["timeout"] += 1
 
-    for idx in range(n_clients):
-        p.env.process(scanner(p.env, idx))
-    p.env.run()
+    run_clients(p, n_clients, scanner)
     return PropertyFilterResult(
         n_clients=n_clients,
         n_entities=n_entities,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.client import ClientTimeoutError, RetryPolicy, race_timeout
 from repro.client.base import measured_call, with_retries
-from repro.client.retry import NO_RETRY
+from repro.resilience.backoff import NO_RETRY
 from repro.simcore import Environment
 from repro.storage.errors import (
     EntityNotFoundError,

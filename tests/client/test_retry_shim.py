@@ -1,0 +1,38 @@
+"""The legacy ``repro.client.retry`` path must keep working, loudly."""
+
+import importlib
+import warnings
+
+
+def test_shim_warns_on_import():
+    import repro.client.retry as shim
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        importlib.reload(shim)
+    assert any(
+        issubclass(w.category, DeprecationWarning)
+        and "repro.resilience.backoff" in str(w.message)
+        for w in caught
+    )
+
+
+def test_shim_reexports_the_real_objects():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.client.retry import NO_RETRY, RetryPolicy
+
+    from repro.resilience import backoff
+
+    assert RetryPolicy is backoff.RetryPolicy
+    assert NO_RETRY is backoff.NO_RETRY
+
+
+def test_shim_policy_behaves():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.client.retry import NO_RETRY
+
+    from repro.storage.errors import ServerBusyError
+
+    assert not NO_RETRY.should_retry(ServerBusyError("busy"), attempt=0)

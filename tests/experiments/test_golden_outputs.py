@@ -1,11 +1,14 @@
 """Byte-for-byte pinning of experiment outputs.
 
 The committed digests were recorded *before* the incremental fair-share
-engine landed; these tests prove the new engine reproduces the batch
-engine's outputs exactly — same rates, same completion order, same RNG
-trajectory — down to the last float bit.  Any intentional output change
-must regenerate the file via ``tools/record_goldens.py`` and say so in
-the commit.
+engine landed; these tests prove later engines — including the unified
+``repro.service`` request pipeline — reproduce the original outputs
+exactly: same rates, same completion order, same RNG trajectory, down
+to the last float bit.  Any intentional output change must regenerate
+the file via ``tools/record_goldens.py`` and say so in the commit.
+
+``check_digests`` is the same verifier ``tools/record_goldens.py
+--check`` runs in CI.
 """
 
 import json
@@ -16,7 +19,7 @@ import pytest
 from repro.experiments.golden import (
     GOLDEN_SCALE,
     GOLDEN_SEED,
-    collect_digests,
+    check_digests,
 )
 
 _GOLDEN_FILE = Path(__file__).parent / "golden_digests.json"
@@ -28,10 +31,15 @@ def test_golden_file_matches_pinned_scale_seed():
     assert _GOLDEN["seed"] == GOLDEN_SEED
 
 
+def test_check_digests_rejects_unknown_experiment():
+    with pytest.raises(KeyError):
+        check_digests(_GOLDEN_FILE, ["no-such-experiment"])
+
+
 @pytest.mark.parametrize("experiment_id", sorted(_GOLDEN["digests"]))
 def test_experiment_output_bit_identical(experiment_id):
-    digest = collect_digests([experiment_id])[experiment_id]
-    assert digest == _GOLDEN["digests"][experiment_id], (
-        f"{experiment_id} output diverged from the pre-incremental-"
-        f"engine golden digest (scale={GOLDEN_SCALE}, seed={GOLDEN_SEED})"
+    mismatches = check_digests(_GOLDEN_FILE, [experiment_id])
+    assert not mismatches, (
+        f"{experiment_id} output diverged from the golden digest "
+        f"(scale={GOLDEN_SCALE}, seed={GOLDEN_SEED}): {mismatches}"
     )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.client.retry import RetryPolicy
+from repro.resilience.backoff import RetryPolicy
 from repro.resilience import (
     BackoffStrategy,
     CappedExponentialBackoff,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.client.base import with_retries
-from repro.client.retry import NO_RETRY
+from repro.resilience.backoff import NO_RETRY
 from repro.resilience import CircuitBreaker, CircuitOpenError
 from repro.simcore import Environment
 from repro.storage.errors import EntityNotFoundError, ServerBusyError

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.client.base import with_retries
-from repro.client.retry import RetryPolicy
+from repro.resilience.backoff import RetryPolicy
 from repro.resilience import RetryBudget
 from repro.simcore import Environment
 from repro.storage.errors import ServerBusyError

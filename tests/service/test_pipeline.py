@@ -1,0 +1,227 @@
+"""Unit tests for the unified request pipeline."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.service import (
+    LatencyProfile,
+    OpSpec,
+    RequestPipeline,
+    RequestTracer,
+    TransferSpec,
+)
+from repro.simcore import Environment, RandomStreams
+
+
+def _rng(seed=0):
+    return RandomStreams(seed).stream("svc")
+
+
+def drive(env, gen):
+    """Run one pipeline request in a process; capture result or error."""
+    box = {}
+
+    def proc():
+        try:
+            box["result"] = yield from gen
+        except Exception as exc:  # noqa: BLE001 - tests inspect the error
+            box["error"] = exc
+
+    env.process(proc())
+    env.run()
+    return box
+
+
+class FakeNetwork:
+    """Just enough of FlowNetwork for the transfer stage."""
+
+    def __init__(self, env, duration_s=1.0):
+        self.env = env
+        self.duration_s = duration_s
+        self.flows = []
+        self.pokes = 0
+
+    def transfer(self, route, size_mb, label=""):
+        self.flows.append((route, size_mb, label))
+        return SimpleNamespace(done=self.env.timeout(self.duration_s))
+
+    def poke(self):
+        self.pokes += 1
+
+
+def test_commit_result_is_returned_and_traced():
+    env = Environment()
+    tracer = RequestTracer()
+    pipe = RequestPipeline(env, _rng(), service="svc", tracer=tracer)
+    box = drive(env, pipe.execute("svc.op", commit=lambda: "payload"))
+    assert box["result"] == "payload"
+    assert tracer.total == 1 and tracer.errors == 0
+    (trace,) = tracer.records()
+    assert trace.service == "svc" and trace.op == "svc.op"
+    assert trace.ok and trace.latency_s == 0.0
+
+
+def test_base_latency_draw_is_fixed_plus_jitter():
+    env = Environment()
+    tracer = RequestTracer()
+    pipe = RequestPipeline(
+        env,
+        _rng(),
+        service="svc",
+        latency=LatencyProfile(fixed_frac=0.8, jitter_frac=0.2),
+        tracer=tracer,
+    )
+    drive(env, pipe.execute("svc.op", base_latency_s=1.0))
+    (trace,) = tracer.records()
+    # At least the fixed floor, plus a nonnegative exponential draw.
+    assert trace.base_latency_s >= 0.8
+    assert env.now == pytest.approx(trace.base_latency_s)
+
+
+def test_lazy_op_evaluates_after_base_latency():
+    from repro.storage import PartitionServer
+
+    env = Environment()
+    server = PartitionServer(env, _rng(1), frontend_c_s=0.0)
+    pipe = RequestPipeline(
+        env, _rng(), service="svc", router=lambda key: server
+    )
+    seen = []
+
+    def make_spec():
+        seen.append(env.now)
+        return OpSpec(name="op", cpu_s=0.1, deterministic=True)
+
+    drive(
+        env,
+        pipe.execute("svc.op", make_spec, base_latency_s=1.0, route="k"),
+    )
+    # The spec was built after the latency delay, not at call time.
+    assert len(seen) == 1 and seen[0] >= 0.8
+
+
+def test_routed_op_measures_queue_wait():
+    from repro.storage import PartitionServer
+
+    env = Environment()
+    tracer = RequestTracer()
+    server = PartitionServer(env, _rng(1), frontend_c_s=0.0)
+    pipe = RequestPipeline(
+        env, _rng(), service="svc", router=lambda key: server, tracer=tracer
+    )
+    op = OpSpec(name="w", exclusive_s=1.0, latch_key="k", deterministic=True)
+    for _ in range(2):
+        env.process(pipe.execute("svc.w", op, route="k"))
+    env.run()
+    first, second = tracer.records()
+    assert first.queue_wait_s == pytest.approx(0.0)
+    # The second request sat on the latch while the first held it.
+    assert second.queue_wait_s == pytest.approx(1.0)
+    assert second.server_s == pytest.approx(2.0)
+
+
+def test_route_without_router_raises():
+    env = Environment()
+    pipe = RequestPipeline(env, _rng(), service="svc")
+    box = drive(env, pipe.execute("svc.op", route="k"))
+    assert isinstance(box["error"], ValueError)
+
+
+def test_routed_op_requires_spec():
+    env = Environment()
+    pipe = RequestPipeline(
+        env, _rng(), service="svc", router=lambda key: None
+    )
+    box = drive(env, pipe.execute("svc.op", None, route="k"))
+    assert isinstance(box["error"], ValueError)
+
+
+def test_transfer_runs_flow_with_connection_accounting():
+    env = Environment()
+    tracer = RequestTracer()
+    network = FakeNetwork(env, duration_s=2.0)
+    pipe = RequestPipeline(
+        env, _rng(), service="svc", network=network, tracer=tracer
+    )
+    conns = []
+    spec = TransferSpec(
+        route=("a", "b"),
+        size_mb=64.0,
+        label="xfer",
+        acquire=lambda: conns.append("+"),
+        release=lambda: conns.append("-"),
+    )
+    drive(env, pipe.execute("svc.get", transfer=lambda: spec))
+    assert network.flows == [(("a", "b"), 64.0, "xfer")]
+    assert conns == ["+", "-"]
+    assert network.pokes == 1
+    (trace,) = tracer.records()
+    assert trace.transfer_s == pytest.approx(2.0)
+    assert trace.size_mb == 64.0
+
+
+def test_transfer_without_network_raises():
+    env = Environment()
+    pipe = RequestPipeline(env, _rng(), service="svc")
+    box = drive(
+        env,
+        pipe.execute(
+            "svc.get", transfer=TransferSpec(route=("a",), size_mb=1.0)
+        ),
+    )
+    assert isinstance(box["error"], ValueError)
+
+
+def test_failed_request_traces_outcome_and_reraises():
+    env = Environment()
+    tracer = RequestTracer()
+    pipe = RequestPipeline(env, _rng(), service="svc", tracer=tracer)
+
+    def bad_commit():
+        raise KeyError("nope")
+
+    box = drive(env, pipe.execute("svc.op", commit=bad_commit))
+    assert isinstance(box["error"], KeyError)
+    assert tracer.total == 1 and tracer.errors == 1
+    (trace,) = tracer.records()
+    assert trace.outcome == "KeyError" and not trace.ok
+
+
+def test_precheck_runs_before_routing():
+    env = Environment()
+    order = []
+    pipe = RequestPipeline(
+        env,
+        _rng(),
+        service="svc",
+        router=lambda key: order.append("route"),
+    )
+
+    def precheck():
+        order.append("precheck")
+        raise RuntimeError("reject early")
+
+    box = drive(env, pipe.execute("svc.op", precheck=precheck, route="k"))
+    assert isinstance(box["error"], RuntimeError)
+    assert order == ["precheck"]
+
+
+def test_fault_injector_read_from_owner():
+    env = Environment()
+    owner = SimpleNamespace(fault_injector=None)
+    pipe = RequestPipeline(env, _rng(), service="svc", owner=owner)
+    assert pipe.fault_injector is None
+    sentinel = object()
+    owner.fault_injector = sentinel
+    assert pipe.fault_injector is sentinel
+
+
+def test_work_stage_advances_clock():
+    env = Environment()
+    tracer = RequestTracer()
+    pipe = RequestPipeline(env, _rng(), service="svc", tracer=tracer)
+    drive(env, pipe.execute("svc.copy", work_s=3.5))
+    assert env.now == pytest.approx(3.5)
+    (trace,) = tracer.records()
+    assert trace.latency_s == pytest.approx(3.5)

@@ -1,0 +1,113 @@
+"""Unit tests for the bounded request tracer."""
+
+import pytest
+
+from repro.service.tracing import OK, RequestTrace, RequestTracer
+
+
+def _trace(op="svc.op", outcome=OK, **kw):
+    defaults = dict(
+        service="svc",
+        op=op,
+        started_at=0.0,
+        finished_at=1.0,
+        outcome=outcome,
+    )
+    defaults.update(kw)
+    return RequestTrace(**defaults)
+
+
+def test_trace_latency_and_ok():
+    t = _trace(started_at=2.0, finished_at=5.5)
+    assert t.latency_s == pytest.approx(3.5)
+    assert t.ok
+    assert not _trace(outcome="OperationTimeoutError").ok
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        RequestTracer(capacity=0)
+    # None = unbounded is allowed.
+    RequestTracer(capacity=None)
+
+
+def test_counters_and_records():
+    tracer = RequestTracer()
+    tracer.observe(_trace())
+    tracer.observe(_trace(outcome="ServerBusyError"))
+    assert tracer.total == 2 and tracer.errors == 1
+    assert len(tracer.records()) == 2
+    assert tracer.client_total == 0
+
+
+def test_client_calls_tracked_separately():
+    tracer = RequestTracer()
+    tracer.observe_call(_trace(retries=2))
+    tracer.observe_call(_trace(outcome="ClientTimeoutError", retries=3))
+    assert tracer.client_total == 2 and tracer.client_errors == 1
+    assert tracer.retries == 5
+    assert tracer.records() == []
+    assert len(tracer.client_calls()) == 2
+
+
+def test_capacity_trimming_keeps_aggregates_exact():
+    tracer = RequestTracer(capacity=100)
+    for i in range(500):
+        tracer.observe(_trace(started_at=float(i), finished_at=i + 1.0))
+    assert tracer.total == 500
+    assert tracer.dropped > 0
+    retained = tracer.records()
+    assert len(retained) <= 100 + 25  # capacity + one trim block
+    assert len(retained) + tracer.dropped == 500
+    # Newest records win.
+    assert retained[-1].started_at == 499.0
+    # Aggregates never trim.
+    totals = tracer.per_op_totals()["svc.op"]
+    assert totals["count"] == 500
+    assert totals["latency_s"] == pytest.approx(500.0)
+
+
+def test_per_op_totals_fold_stage_timings():
+    tracer = RequestTracer()
+    tracer.observe(
+        _trace(op="a", queue_wait_s=0.5, transfer_s=1.5, size_mb=8.0)
+    )
+    tracer.observe(
+        _trace(op="a", outcome="X", queue_wait_s=0.25, size_mb=2.0)
+    )
+    tracer.observe(_trace(op="b"))
+    totals = tracer.per_op_totals()
+    assert totals["a"]["count"] == 2 and totals["a"]["errors"] == 1
+    assert totals["a"]["queue_wait_s"] == pytest.approx(0.75)
+    assert totals["a"]["transfer_s"] == pytest.approx(1.5)
+    assert totals["a"]["size_mb"] == pytest.approx(10.0)
+    assert totals["b"]["count"] == 1
+
+
+def test_of_op_filters():
+    tracer = RequestTracer()
+    tracer.observe(_trace(op="a"))
+    tracer.observe(_trace(op="b"))
+    tracer.observe(_trace(op="a"))
+    assert [t.op for t in tracer.of_op("a")] == ["a", "a"]
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = RequestTracer(enabled=False)
+    assert not tracer.enabled
+    tracer.observe(_trace())
+    tracer.observe_call(_trace())
+    assert tracer.total == 0 and tracer.client_total == 0
+    assert tracer.records() == []
+
+
+def test_clear_resets_everything():
+    tracer = RequestTracer(capacity=10)
+    for i in range(50):
+        tracer.observe(_trace())
+    tracer.observe_call(_trace(retries=1))
+    tracer.clear()
+    assert tracer.total == 0 and tracer.errors == 0
+    assert tracer.dropped == 0 and tracer.retries == 0
+    assert tracer.records() == [] and tracer.client_calls() == []
+    assert tracer.per_op_totals() == {}

@@ -4,6 +4,8 @@ import pytest
 
 from repro.simcore import Environment, RandomStreams
 from repro.storage import OperationTimeoutError, OpSpec, PartitionServer
+from repro.storage.queue import QueueService
+from repro.storage.table import TableService
 
 
 def _drive(env, server, ops, errors=None):
@@ -172,3 +174,116 @@ def test_utilization_estimate_bounded():
     _drive(env, server, [op] * 4)
     env.run()
     assert 0.0 < server.utilization_estimate() <= 1.0
+
+
+# -- server selection (the pipeline's routing targets) --------------------
+
+
+def _streams(seed=0):
+    return RandomStreams(seed)
+
+
+def test_table_server_selection_is_per_partition():
+    env = Environment()
+    svc = TableService(env, _streams().stream("tables"))
+    a = svc.server_for("t", "pk-a")
+    b = svc.server_for("t", "pk-b")
+    other_table = svc.server_for("u", "pk-a")
+    assert a is svc.server_for("t", "pk-a")  # stable identity
+    assert a is not b
+    assert a is not other_table
+    assert a.name == f"{svc.name}/t/pk-a"
+
+
+def test_queue_server_selection_is_per_queue():
+    env = Environment()
+    svc = QueueService(env, _streams().stream("queues"))
+    a = svc.server_for("q1")
+    b = svc.server_for("q2")
+    assert a is svc.server_for("q1")
+    assert a is not b
+    assert a.name == f"{svc.name}/q1"
+
+
+# -- observer hook: queue/latch wait under concurrency --------------------
+
+
+def _drive_observed(env, server, ops):
+    """Run ops concurrently, returning [(stage, seconds), ...] per op."""
+    waits = [[] for _ in ops]
+
+    def client(op, log):
+        yield from server.execute(
+            op, observer=lambda stage, s: log.append((stage, s))
+        )
+
+    for op, log in zip(ops, waits):
+        env.process(client(op, log))
+    env.run()
+    return waits
+
+
+def test_observer_reports_cpu_wait_under_core_contention():
+    env = Environment()
+    server = _server(env, frontend_c_s=0.0, cores=1)
+    op = OpSpec(name="op", cpu_s=1.0, deterministic=True)
+    first, second = _drive_observed(env, server, [op, op])
+    assert dict(first)["cpu_wait"] == pytest.approx(0.0)
+    # The second op queued behind the first's full CPU slice.
+    assert dict(second)["cpu_wait"] == pytest.approx(1.0)
+
+
+def test_observer_reports_latch_wait_for_conflicting_writes():
+    env = Environment()
+    server = _server(env, frontend_c_s=0.0)
+    op = OpSpec(name="w", exclusive_s=0.5, latch_key="k", deterministic=True)
+    first, second, third = _drive_observed(env, server, [op, op, op])
+    assert dict(first)["latch_wait"] == pytest.approx(0.0)
+    assert dict(second)["latch_wait"] == pytest.approx(0.5)
+    assert dict(third)["latch_wait"] == pytest.approx(1.0)
+
+
+def test_observer_sees_no_wait_on_disjoint_latches():
+    env = Environment()
+    server = _server(env, frontend_c_s=0.0)
+    ops = [
+        OpSpec(name="w", exclusive_s=0.5, latch_key=f"k{i}", deterministic=True)
+        for i in range(3)
+    ]
+    for waits in _drive_observed(env, server, ops):
+        assert dict(waits)["latch_wait"] == pytest.approx(0.0)
+
+
+def test_observer_is_optional_and_pure():
+    """Observed and unobserved runs complete at identical instants."""
+    env1 = Environment()
+    server1 = _server(env1, frontend_c_s=0.0, cores=1)
+    op = OpSpec(name="op", cpu_s=0.3, deterministic=True)
+    done1 = _drive(env1, server1, [op] * 3)
+    env1.run()
+
+    env2 = Environment()
+    server2 = _server(env2, frontend_c_s=0.0, cores=1)
+    _drive_observed(env2, server2, [op] * 3)
+    assert done1 == [pytest.approx(t) for t in (0.3, 0.6, 0.9)]
+    assert env2.now == pytest.approx(env1.now)
+
+
+def test_shed_request_error_carries_server_context():
+    env = Environment()
+    server = _server(
+        env,
+        frontend_c_s=0.0,
+        overload_knee_mb=0.5,
+        overload_slope_per_mb=0.05,
+        server_timeout_s=5.0,
+    )
+    op = OpSpec(name="big", cpu_s=0.1, payload_mb=0.25)
+    errors = []
+    _drive(env, server, [op] * 100, errors=errors)
+    env.run()
+    assert errors
+    err = errors[0]
+    assert isinstance(err, OperationTimeoutError)
+    assert err.service == server.name
+    assert err.op == "big"

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.client import QueueClient, TableClient
-from repro.client.retry import NO_RETRY, RetryPolicy
+from repro.resilience.backoff import NO_RETRY, RetryPolicy
 from repro.faults import FaultInjector, FaultWindow
 from repro.simcore import Environment, RandomStreams
 from repro.storage import TableService

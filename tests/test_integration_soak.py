@@ -16,7 +16,7 @@ the properties long-running cloud apps rely on.
 import pytest
 
 from repro.client import BlobClient, QueueClient, TableClient, TcpEndpointPair
-from repro.client.retry import RetryPolicy
+from repro.resilience.backoff import RetryPolicy
 from repro.cluster import SpilloverPlacement, VMInstance, make_nodes
 from repro.cluster.sizes import get_size
 from repro.faults import FaultInjector

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Record golden experiment-output digests.
+"""Record (or verify) golden experiment-output digests.
 
 Writes ``tests/experiments/golden_digests.json``: one SHA-256 per
 pinned experiment over its full-precision result data at the golden
@@ -10,7 +10,12 @@ engine change that shifts a rate, completion instant, or RNG trajectory
 Only regenerate after an *intentional* output change, and say so in the
 commit that updates the file.
 
-Usage:  PYTHONPATH=src python tools/record_goldens.py [--out PATH]
+Usage:
+    PYTHONPATH=src python tools/record_goldens.py [--out PATH] [--jobs N]
+    PYTHONPATH=src python tools/record_goldens.py --check [--jobs N]
+
+``--check`` recomputes every pinned digest and exits 1 on any mismatch
+(this is what CI runs); nothing is written.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from pathlib import Path
 from repro.experiments.golden import (
     GOLDEN_SCALE,
     GOLDEN_SEED,
+    check_digests,
     collect_digests,
 )
 
@@ -35,10 +41,38 @@ DEFAULT_OUT = (
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed digests instead of rewriting them; "
+        "exit 1 on any mismatch",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment runs (results are "
+        "bit-identical for any value)",
+    )
     args = parser.parse_args()
 
     start = time.time()
-    digests = collect_digests()
+    if args.check:
+        mismatches = check_digests(args.out, jobs=args.jobs)
+        elapsed = time.time() - start
+        if mismatches:
+            for eid, (expected, actual) in sorted(mismatches.items()):
+                print(f"MISMATCH {eid}: expected {expected}")
+                print(f"         {' ' * len(eid)}  recomputed {actual}")
+            print(
+                f"{len(mismatches)} experiment(s) diverged from "
+                f"{args.out} ({elapsed:.1f}s)"
+            )
+            return 1
+        print(f"all digests in {args.out} verified ({elapsed:.1f}s)")
+        return 0
+
+    digests = collect_digests(jobs=args.jobs)
     payload = {
         "_comment": [
             "Golden experiment-output digests: SHA-256 over each",
