@@ -13,7 +13,12 @@ Run:  python examples/ops_dashboard.py
 from repro.client import BlobClient, QueueClient, TableClient
 from repro.resilience.backoff import RetryPolicy
 from repro.faults import FaultInjector
-from repro.monitoring import MetricsRegistry, Sampler, render_dashboard
+from repro.monitoring import (
+    MetricsRegistry,
+    Sampler,
+    ingest_request_traces,
+    render_dashboard,
+)
 from repro.storage.table import make_entity
 from repro.workloads import build_platform
 
@@ -79,11 +84,24 @@ def main():
             yield from queue.delete("work", msg, msg.pop_receipt)
             registry.counter("jobs.done").increment()
 
+    def scraper(env):
+        # Periodically fold the account's request traces into per-op
+        # latency tallies.  clear_after=True makes the scrape
+        # idempotent: each record lands in the registry exactly once,
+        # however often this loop runs.
+        while True:
+            yield env.timeout(30.0)
+            ingest_request_traces(
+                registry, platform.tracer, clear_after=True
+            )
+
     for idx in range(8):
         env.process(producer(env, idx))
     for idx in range(8):
         env.process(worker(env, idx))
+    env.process(scraper(env))
     env.run(until=450.0)
+    ingest_request_traces(registry, platform.tracer, clear_after=True)
 
     print(render_dashboard(
         registry,

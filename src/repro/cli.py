@@ -8,6 +8,8 @@ Usage::
     python -m repro calibration
     python -m repro drill storm [--scale 0.5] [--seed 3] [--json out.json]
     python -m repro drill spike
+    python -m repro trace --out trace.json [--fmt chrome|jsonl|waterfall]
+    python -m repro slo [--availability 0.99] [--latency-ms 500]
 """
 
 from __future__ import annotations
@@ -121,6 +123,8 @@ def _cmd_drill(args: argparse.Namespace) -> int:
                     "fast_failures": r.fast_failures,
                     "breaker_states": r.breaker_states,
                     "slo_pass": r.slo_pass,
+                    "worst_burn_rate": r.worst_burn_rate,
+                    "slo": r.slo_dict(),
                 }
                 for r in report.results
             },
@@ -158,6 +162,130 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             json.dump(snapshot, fh, indent=2, sort_keys=True)
         print(f"\nwrote perf snapshot to {args.json}")
     return 0
+
+
+def _run_traced_workload(args: argparse.Namespace, spans: bool):
+    """One fig1-style blob run on a fresh platform, tracer attached."""
+    from repro.workloads.blob_bench import run_blob_test
+    from repro.workloads.harness import build_platform
+
+    platform = build_platform(
+        seed=args.seed, n_clients=args.clients, spans=spans
+    )
+    run_blob_test(
+        args.direction,
+        n_clients=args.clients,
+        size_mb=args.size_mb,
+        seed=args.seed,
+        platform=platform,
+    )
+    return platform
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability.export import (
+        waterfall,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    platform = _run_traced_workload(args, spans=True)
+    assert platform.spans is not None
+    spans = platform.spans.spans()
+    print(
+        f"collected {len(spans)} spans over "
+        f"{len(platform.spans.traces())} traces "
+        f"({platform.spans.errors} error spans)"
+    )
+    if args.fmt == "chrome":
+        if not args.out:
+            print("--fmt chrome needs --out PATH", file=sys.stderr)
+            return 2
+        path = write_chrome_trace(args.out, spans)
+        print(f"wrote Chrome trace-event JSON to {path} "
+              "(load in Perfetto or chrome://tracing)")
+    elif args.fmt == "jsonl":
+        if not args.out:
+            print("--fmt jsonl needs --out PATH", file=sys.stderr)
+            return 2
+        path = write_jsonl(args.out, spans)
+        print(f"wrote {len(spans)} spans to {path}")
+    else:
+        shown = 0
+        for trace_id in sorted(platform.spans.traces()):
+            print(waterfall(spans, trace_id=trace_id))
+            print()
+            shown += 1
+            if shown >= args.limit:
+                remaining = len(platform.spans.traces()) - shown
+                if remaining > 0:
+                    print(f"(… {remaining} more traces; raise --limit, or "
+                          "export with --fmt chrome --out trace.json)")
+                break
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.observability.histogram import merge_histograms
+    from repro.observability.slo import (
+        availability_slo,
+        evaluate_slos,
+        latency_slo,
+    )
+
+    platform = _run_traced_workload(args, spans=False)
+    tracer = platform.tracer
+    assert tracer is not None
+    histograms = tracer.latency_histograms()
+    print(f"{tracer.total} requests, {tracer.errors} errors; per-op "
+          "latency percentiles (streaming histogram, ~2% relative error):")
+    for (service, op), hist in sorted(histograms.items()):
+        p50, p95, p99 = (hist.percentile(q) * 1000 for q in (50, 95, 99))
+        print(f"  {service}.{op}: n={hist.count} p50={p50:.1f}ms "
+              f"p95={p95:.1f}ms p99={p99:.1f}ms")
+    merged = (
+        merge_histograms(list(histograms.values()), name="all-ops")
+        if histograms
+        else None
+    )
+    report = evaluate_slos(
+        [
+            availability_slo(args.availability),
+            latency_slo(args.latency_ms / 1000.0, args.latency_target),
+        ],
+        total=tracer.total,
+        errors=tracer.errors,
+        histogram=merged,
+        title=(
+            f"SLOs over {args.direction} x{args.clients} "
+            f"(seed {args.seed})"
+        ),
+    )
+    print()
+    print(report.render())
+    if args.json:
+        import json
+
+        exported = {
+            "total": tracer.total,
+            "errors": tracer.errors,
+            "objectives": {
+                r.slo.name: {
+                    "target": r.slo.target,
+                    "sli": r.sli,
+                    "error_budget": r.error_budget,
+                    "budget_consumed": r.budget_consumed,
+                    "budget_remaining": r.budget_remaining,
+                    "burn_rate": r.burn_rate,
+                    "passed": r.passed,
+                }
+                for r in report.results
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(exported, fh, indent=2, sort_keys=True)
+        print(f"wrote machine-readable SLO report to {args.json}")
+    return 0 if report.passed else 1
 
 
 def _cmd_calibration(_args: argparse.Namespace) -> int:
@@ -254,6 +382,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable snapshot to this JSON file",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--direction", choices=["download", "upload"],
+            default="download", help="blob workload direction",
+        )
+        p.add_argument(
+            "--clients", type=int, default=4,
+            help="concurrent clients in the traced run",
+        )
+        p.add_argument(
+            "--size-mb", type=float, default=1.0, help="blob size in MB"
+        )
+        p.add_argument("--seed", type=int, default=3)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help=(
+            "run a small fig1-style workload with span tracing and "
+            "export the causal trees"
+        ),
+    )
+    add_workload_args(p_trace)
+    p_trace.add_argument(
+        "--fmt", choices=["waterfall", "chrome", "jsonl"],
+        default="waterfall",
+        help=(
+            "waterfall = ASCII per-trace view; chrome = trace-event JSON "
+            "for Perfetto/chrome://tracing; jsonl = one span per line"
+        ),
+    )
+    p_trace.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output file (required for chrome/jsonl)",
+    )
+    p_trace.add_argument(
+        "--limit", type=int, default=3,
+        help="max traces printed in waterfall mode",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help=(
+            "run a workload and judge it against availability/latency "
+            "SLOs (error budget + burn rate)"
+        ),
+    )
+    add_workload_args(p_slo)
+    p_slo.add_argument(
+        "--availability", type=float, default=0.99,
+        help="availability target in (0, 1)",
+    )
+    p_slo.add_argument(
+        "--latency-ms", type=float, default=500.0,
+        help="latency threshold in milliseconds",
+    )
+    p_slo.add_argument(
+        "--latency-target", type=float, default=0.95,
+        help="required fraction of requests under the threshold",
+    )
+    p_slo.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the machine-readable SLO report to this file",
+    )
+    p_slo.set_defaults(func=_cmd_slo)
 
     p_cal = sub.add_parser(
         "calibration", help="print the paper-anchored constants"

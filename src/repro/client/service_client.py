@@ -20,7 +20,11 @@ Every client call additionally emits a call-level
 :class:`~repro.service.tracing.RequestTrace` (op kind, latency, retry
 count, outcome) into the service's :class:`RequestTracer` — the client
 half of the per-request observability layer (the service half is
-emitted by the request pipeline itself).
+emitted by the request pipeline itself).  When the tracer carries a
+:class:`~repro.observability.spans.SpanTracer`, every call opens a
+``call:<op>`` span and every raw attempt (each retry, each hedge leg)
+runs under its own ``attempt`` span bound as ambient context, so the
+pipeline's server spans parent themselves into the right attempt.
 """
 
 from __future__ import annotations
@@ -28,6 +32,8 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro.client.base import measured_call, with_retries
+from repro.observability import spans as spanlib
+from repro.observability.spans import Span, SpanTracer
 from repro.resilience.backoff import RetryPolicy
 from repro.resilience.hedging import HedgePolicy, hedged_call
 from repro.service.tracing import OK, RequestTrace, RequestTracer
@@ -85,6 +91,38 @@ class ServiceClient:
             return lambda: hedged_call(self.env, make, self.hedge, kind)
         return make
 
+    def _span_tracer(self) -> Optional[SpanTracer]:
+        spans = getattr(self.tracer, "spans", None)
+        if spans is None or not spans.enabled:
+            return None
+        return spans
+
+    def _spanned(
+        self,
+        kind: str,
+        make: Callable[[], Generator],
+        spans: SpanTracer,
+        call_span: Span,
+    ) -> Callable[[], Generator]:
+        """Wrap the *raw* attempt factory so every invocation — each
+        retry, each hedge leg — runs under its own attempt span, bound
+        as the ambient context the server span will parent into."""
+        counter = [0]
+
+        def factory() -> Generator:
+            index = counter[0]
+            counter[0] += 1
+            attempt = spans.start(
+                f"attempt:{kind} #{index}",
+                spanlib.ATTEMPT,
+                self.env.now,
+                parent=call_span.context,
+                attempt=index,
+            )
+            return spans.bind(self.env, make(), attempt)
+
+        return factory
+
     def _call(
         self,
         kind: str,
@@ -92,6 +130,17 @@ class ServiceClient:
         hedgeable: bool = False,
     ) -> Generator:
         """Raising variant: result or the final (post-retry) error."""
+        spans = self._span_tracer()
+        call_span = None
+        if spans is not None:
+            call_span = spans.start(
+                f"call:{kind}",
+                spanlib.CLIENT,
+                self.env.now,
+                parent=spans.current,
+                op=kind,
+            )
+            make = self._spanned(kind, make, spans, call_span)
         factory = self._attempt(kind, make, hedgeable)
         started_at = self.env.now
         retries = [0]
@@ -107,8 +156,14 @@ class ServiceClient:
             )
         except Exception as error:
             self._trace_call(kind, started_at, retries[0], error)
+            if spans is not None and call_span is not None:
+                call_span.attributes["retries"] = retries[0]
+                spans.finish(call_span, self.env.now, type(error).__name__)
             raise
         self._trace_call(kind, started_at, retries[0], None)
+        if spans is not None and call_span is not None:
+            call_span.attributes["retries"] = retries[0]
+            spans.finish(call_span, self.env.now)
         return result
 
     def _call_measured(
@@ -118,6 +173,17 @@ class ServiceClient:
         hedgeable: bool = False,
     ) -> Generator:
         """Measured variant: ``(result_or_None, OperationOutcome)``."""
+        spans = self._span_tracer()
+        call_span = None
+        if spans is not None:
+            call_span = spans.start(
+                f"call:{kind}",
+                spanlib.CLIENT,
+                self.env.now,
+                parent=spans.current,
+                op=kind,
+            )
+            make = self._spanned(kind, make, spans, call_span)
         factory = self._attempt(kind, make, hedgeable)
         started_at = self.env.now
         result, outcome = yield from measured_call(
@@ -125,6 +191,14 @@ class ServiceClient:
             budget=self.budget, breaker=self.breaker,
         )
         self._trace_call(kind, started_at, outcome.retries, outcome.error)
+        if spans is not None and call_span is not None:
+            call_span.attributes["retries"] = outcome.retries
+            spans.finish(
+                call_span,
+                self.env.now,
+                "ok" if outcome.error is None
+                else type(outcome.error).__name__,
+            )
         return result, outcome
 
     def _trace_call(

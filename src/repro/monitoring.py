@@ -8,15 +8,23 @@ become common as scale increases."
 with hierarchical names; :class:`Sampler` snapshots gauge callbacks onto
 time series at a fixed cadence; :func:`render_dashboard` prints the
 operator's view.
+
+Latency tallies are backed by
+:class:`repro.observability.histogram.HistogramTally` — log-bucketed
+streaming histograms with exact count/sum and bounded-error
+(~2% relative) percentiles — rather than raw-sample retention, so a
+full-scale run can keep every tally hot in O(buckets) memory and the
+registry snapshot can report p50/p95/p99 without holding observations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis import ascii_table
-from repro.simcore import Environment, Tally, TimeSeries
+from repro.observability.histogram import HistogramTally
+from repro.simcore import Environment, TimeSeries
 
 
 @dataclass
@@ -38,7 +46,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Callable[[], float]] = {}
-        self._tallies: Dict[str, Tally] = {}
+        self._tallies: Dict[str, HistogramTally] = {}
 
     # -- counters ----------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -65,15 +73,24 @@ class MetricsRegistry:
         return sorted(self._gauges)
 
     # -- latency tallies ------------------------------------------------------
-    def tally(self, name: str) -> Tally:
+    def tally(self, name: str) -> HistogramTally:
+        """A histogram-backed latency tally (created on first use)."""
         tally = self._tallies.get(name)
         if tally is None:
-            tally = Tally(name)
+            tally = HistogramTally(name)
             self._tallies[name] = tally
         return tally
 
+    def tally_names(self) -> List[str]:
+        return sorted(self._tallies)
+
     def snapshot(self) -> Dict[str, float]:
-        """All current values, flat."""
+        """All current values, flat.
+
+        Tally percentiles (p50/p95/p99) come from the backing streaming
+        histogram, so they are within ~2% relative error of the raw
+        quantiles; counts and per-tally error totals are exact.
+        """
         out: Dict[str, float] = {}
         for name, counter in self._counters.items():
             out[f"counter:{name}"] = counter.value
@@ -83,6 +100,10 @@ class MetricsRegistry:
             if len(tally):
                 out[f"latency_p50:{name}"] = tally.percentile(50)
                 out[f"latency_p95:{name}"] = tally.percentile(95)
+                out[f"latency_p99:{name}"] = tally.percentile(99)
+                out[f"latency_count:{name}"] = float(tally.count)
+            if tally.errors:
+                out[f"latency_errors:{name}"] = float(tally.errors)
         return out
 
 
@@ -227,18 +248,28 @@ def ingest_request_traces(
     registry: MetricsRegistry,
     tracer,
     prefix: str = "requests",
+    clear_after: bool = False,
 ) -> int:
     """Fold the tracer's retained per-request records into latency tallies.
 
     Each record's end-to-end latency lands in ``<prefix>.<op>`` (so the
-    registry snapshot exposes p50/p95 per operation).  Returns the number
-    of records ingested.  Idempotence is the caller's concern: pair with
-    ``tracer.clear()`` when sampling incrementally.
+    registry snapshot exposes p50/p95/p99 per operation) and each failed
+    record increments that tally's error counter.  Returns the number of
+    records ingested.  With ``clear_after=True`` the tracer's retained
+    records are dropped once folded, making periodic ingestion
+    idempotent — each record is counted exactly once across repeated
+    calls.  (The tracer's exact running aggregates are reset too, so
+    pair ``clear_after`` with the registry as the long-lived store.)
     """
     count = 0
     for trace in tracer.records():
-        registry.tally(f"{prefix}.{trace.op}").observe(trace.latency_s)
+        tally = registry.tally(f"{prefix}.{trace.op}")
+        tally.observe(trace.latency_s)
+        if not trace.ok:
+            tally.observe_error()
         count += 1
+    if clear_after:
+        tracer.clear()
     return count
 
 
@@ -249,9 +280,12 @@ def request_summary(tracer, title: str = "request summary") -> str:
     trimming drops raw records, never the running sums).
     """
     rows = []
-    for op, totals in sorted(tracer.per_op_totals().items()):
+    for (service, op), totals in sorted(
+        tracer.per_service_op_totals().items()
+    ):
         n = totals["count"]
         rows.append([
+            service,
             op,
             int(n),
             int(totals["errors"]),
@@ -261,10 +295,10 @@ def request_summary(tracer, title: str = "request summary") -> str:
             round(totals["size_mb"], 3),
         ])
     if not rows:
-        rows.append(["(no requests)", 0, 0, 0.0, 0.0, 0.0, 0.0])
+        rows.append(["(none)", "(no requests)", 0, 0, 0.0, 0.0, 0.0, 0.0])
     return ascii_table(
         [
-            "op", "count", "errors", "mean_latency_s",
+            "service", "op", "count", "errors", "mean_latency_s",
             "mean_queue_wait_s", "mean_transfer_s", "total_mb",
         ],
         rows,

@@ -1,0 +1,245 @@
+"""Span exporters: Chrome ``trace_event`` JSON, JSONL, ASCII waterfall.
+
+The Chrome format (one ``"X"`` complete event per finished span, with
+microsecond ``ts``/``dur``) loads directly into Perfetto or
+``chrome://tracing``.  Each trace renders on its own track; within a
+trace, the spans of each attempt get their own lane so overlapping
+hedge attempts do not glitch the viewer.  Every event's ``args`` carry
+the span/parent/trace ids, so the causal tree survives the export
+exactly (``tools/check_trace_schema.py`` validates it in CI).
+
+JSONL is one span per line — the grep-able archival form.  The ASCII
+waterfall is the terminal view: one bar per span, indented by tree
+depth, scaled to the trace's duration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.observability.spans import Span
+
+
+def _span_args(span: Span) -> Dict[str, object]:
+    args: Dict[str, object] = {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "trace_id": span.trace_id,
+        "status": span.status,
+    }
+    for key, value in span.attributes.items():
+        args[key] = value if isinstance(
+            value, (str, int, float, bool, type(None))
+        ) else str(value)
+    return args
+
+
+def _lanes(spans: Sequence[Span]) -> Dict[int, int]:
+    """Assign each span a viewer lane (Chrome ``tid``).
+
+    A span rides the lane of its nearest ancestor of kind ``attempt``;
+    spans above the attempt level (the client call, or a server pass
+    with no client) ride lane of their trace root.  Lanes are numbered
+    in first-use order so the export is deterministic.
+    """
+    by_id = {s.span_id: s for s in spans}
+    lane_of: Dict[int, int] = {}
+    lane_ids: Dict[int, int] = {}
+
+    def lane_key(span: Span) -> int:
+        cursor: Optional[Span] = span
+        root = span
+        while cursor is not None:
+            if cursor.kind == "attempt":
+                return cursor.span_id
+            root = cursor
+            cursor = (
+                by_id.get(cursor.parent_id)
+                if cursor.parent_id is not None
+                else None
+            )
+        return root.span_id
+
+    for span in spans:
+        key = lane_key(span)
+        if key not in lane_ids:
+            lane_ids[key] = len(lane_ids) + 1
+        lane_of[span.span_id] = lane_ids[key]
+    return lane_of
+
+
+def to_chrome_trace(spans: Sequence[Span]) -> Dict[str, object]:
+    """Render finished spans as a Chrome trace-event JSON document.
+
+    Open spans are skipped (they have no duration); the count skipped
+    is recorded in the document's ``metadata``.
+    """
+    events: List[Dict[str, object]] = []
+    finished = [s for s in spans if s.finished]
+    by_trace: Dict[int, List[Span]] = {}
+    for span in finished:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    for trace_id in sorted(by_trace):
+        members = by_trace[trace_id]
+        lanes = _lanes(members)
+        for span in members:
+            events.append({
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": (span.end_s - span.start_s) * 1e6,  # type: ignore[operator]
+                "pid": trace_id,
+                "tid": lanes[span.span_id],
+                "args": _span_args(span),
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "exporter": "repro.observability",
+            "clock": "simulation-seconds",
+            "spans_open_skipped": len(spans) - len(finished),
+        },
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path], spans: Sequence[Span]
+) -> Path:
+    """Write :func:`to_chrome_trace` output to ``path``; returns it."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(to_chrome_trace(spans), indent=1, sort_keys=True)
+    )
+    return path
+
+
+def to_jsonl(spans: Sequence[Span]) -> Iterable[str]:
+    """One JSON object per span, open spans included (``end_s: null``)."""
+    for span in spans:
+        yield json.dumps(
+            {
+                "name": span.name,
+                "kind": span.kind,
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "start_s": span.start_s,
+                "end_s": span.end_s,
+                "status": span.status,
+                "attributes": _span_args(span),
+            },
+            sort_keys=True,
+        )
+
+
+def write_jsonl(path: Union[str, Path], spans: Sequence[Span]) -> Path:
+    path = Path(path)
+    path.write_text("\n".join(to_jsonl(spans)) + "\n")
+    return path
+
+
+def spans_from_jsonl(text: str) -> List[Span]:
+    """Rebuild spans from :func:`to_jsonl` output (round-trip)."""
+    spans = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        attrs = dict(record.get("attributes", {}))
+        for key in ("span_id", "parent_id", "trace_id", "status"):
+            attrs.pop(key, None)
+        span = Span(
+            name=record["name"],
+            kind=record["kind"],
+            trace_id=record["trace_id"],
+            span_id=record["span_id"],
+            parent_id=record["parent_id"],
+            start_s=record["start_s"],
+            end_s=record["end_s"],
+            status=record["status"],
+            attributes=attrs,
+        )
+        spans.append(span)
+    return spans
+
+
+# -- ASCII waterfall --------------------------------------------------------
+
+def _tree_order(spans: Sequence[Span]) -> List[tuple]:
+    """Depth-first (span, depth) order over one trace's spans."""
+    children: Dict[Optional[int], List[Span]] = {}
+    ids = {s.span_id for s in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start_s, s.span_id))
+    out: List[tuple] = []
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        for span in children.get(parent, []):
+            out.append((span, depth))
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return out
+
+
+def waterfall(
+    spans: Sequence[Span],
+    trace_id: Optional[int] = None,
+    width: int = 40,
+) -> str:
+    """An ASCII per-trace waterfall of one trace's span tree.
+
+    With ``trace_id=None`` the first trace among ``spans`` is rendered.
+    """
+    if not spans:
+        return "(no spans)"
+    if trace_id is None:
+        trace_id = min(s.trace_id for s in spans)
+    members = [s for s in spans if s.trace_id == trace_id]
+    if not members:
+        return f"(no spans in trace {trace_id})"
+    t0 = min(s.start_s for s in members)
+    t1 = max(s.end_s if s.end_s is not None else s.start_s for s in members)
+    total = max(t1 - t0, 1e-12)
+    ordered = _tree_order(members)
+    label_width = max(
+        len("  " * depth + span.name) for span, depth in ordered
+    )
+    lines = [
+        f"trace {trace_id} · {total * 1000:.2f} ms "
+        f"({len(members)} spans, t0={t0:.6f}s)"
+    ]
+    for span, depth in ordered:
+        label = ("  " * depth + span.name).ljust(label_width)
+        lo = int(round((span.start_s - t0) / total * width))
+        end = span.end_s if span.end_s is not None else t1
+        hi = int(round((end - t0) / total * width))
+        hi = max(hi, lo + 1)
+        bar = " " * lo + "█" * (hi - lo) + " " * (width - hi)
+        if span.end_s is None:
+            timing = f"{(span.start_s - t0) * 1000:9.3f}ms …open"
+        else:
+            timing = (
+                f"{(span.start_s - t0) * 1000:9.3f}ms "
+                f"+{span.duration_s * 1000:.3f}ms"
+            )
+        mark = "" if span.ok else f"  !{span.status}"
+        lines.append(f"{label} ▕{bar}▏{timing}{mark}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "spans_from_jsonl",
+    "to_chrome_trace",
+    "to_jsonl",
+    "waterfall",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -34,6 +34,12 @@ from repro.monitoring import (
     attach_circuit_breaker,
     attach_retry_budget,
 )
+from repro.observability.slo import (
+    SLOReport,
+    availability_slo,
+    evaluate_slo,
+    latency_slo,
+)
 from repro.resilience.backoff import make_backoff
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.budget import RetryBudget
@@ -178,13 +184,67 @@ class PolicyResult:
         return self.window_attempts / self.window_ops if self.window_ops else 0.0
 
     @property
+    def slo_report(self) -> "SLOReport":
+        """The drill's objectives evaluated through the SLO engine.
+
+        Availability is judged over every operation; the p99 objective
+        is judged over *successful* operations (matching the percentile
+        columns: a failed operation's time-to-give-up is tallied
+        separately), via the latency tally's streaming histogram.
+        """
+        assert self.spec is not None
+        histogram = None
+        if self.registry is not None:
+            tally = self.registry.tally("drill.latency")
+            if tally.count:
+                histogram = tally.histogram
+        return SLOReport(
+            title=f"drill '{self.spec.name}' — policy {self.policy}",
+            results=[
+                evaluate_slo(
+                    availability_slo(self.spec.slo_availability),
+                    total=self.ops,
+                    errors=self.failed,
+                ),
+                evaluate_slo(
+                    latency_slo(
+                        self.spec.slo_p99_ms / 1000.0,
+                        target=0.99,
+                        name=f"p99<{self.spec.slo_p99_ms:g}ms",
+                    ),
+                    total=self.ok,
+                    errors=0,
+                    histogram=histogram,
+                ),
+            ],
+        )
+
+    @property
+    def worst_burn_rate(self) -> float:
+        return self.slo_report.worst_burn_rate
+
+    @property
     def slo_pass(self) -> bool:
         assert self.spec is not None
         return (
-            self.availability >= self.spec.slo_availability
-            and self.p99_ms <= self.spec.slo_p99_ms
+            self.slo_report.passed
             and self.amplification <= self.spec.slo_amplification
         )
+
+    def slo_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-able error-budget/burn-rate fields for drill exports."""
+        out: Dict[str, Dict[str, float]] = {}
+        for result in self.slo_report.results:
+            out[result.slo.name] = {
+                "target": result.slo.target,
+                "sli": result.sli,
+                "error_budget": result.error_budget,
+                "budget_consumed": result.budget_consumed,
+                "budget_remaining": result.budget_remaining,
+                "burn_rate": result.burn_rate,
+                "passed": result.passed,
+            }
+        return out
 
 
 @dataclass
@@ -220,6 +280,7 @@ class DrillReport:
                 r.shed_retries,
                 r.fast_failures,
                 "->".join(r.breaker_states) if r.breaker_states else "-",
+                f"{r.worst_burn_rate:.2f}",
                 "PASS" if r.slo_pass else "FAIL",
             ])
         title = (
@@ -229,7 +290,8 @@ class DrillReport:
         )
         return ascii_table(
             ["policy", "avail", "p50 ms", "p99 ms", "goodput/s",
-             "amplif", "amp@fault", "shed", "fastfail", "breaker", "verdict"],
+             "amplif", "amp@fault", "shed", "fastfail", "breaker",
+             "burn", "verdict"],
             rows,
             title=title,
         )

@@ -35,6 +35,8 @@ from typing import Any, Callable, Generator, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.observability import spans as spanlib
+from repro.observability.spans import SpanTracer
 from repro.service.spec import OpSpec
 from repro.service.tracing import RequestTrace, RequestTracer
 
@@ -160,6 +162,13 @@ class RequestPipeline:
 
         Exactly one trace record is emitted per request, successful or
         not, carrying the stage timings observed up to the outcome.
+        When the tracer carries a
+        :class:`~repro.observability.spans.SpanTracer`, the request also
+        emits a span tree — one server span (parented under the ambient
+        client-attempt context if one is bound) with one child per
+        executed stage, wait spans under the routing stage, and a flow
+        span under the transfer stage.  Span capture reads the clock
+        only: no RNG draw, no kernel event.
         """
         env = self.env
         trace = RequestTrace(
@@ -168,19 +177,48 @@ class RequestPipeline:
             started_at=env.now,
             finished_at=env.now,
         )
+        spans = self._span_tracer()
+        server_span = None
+        if spans is not None:
+            server_span = spans.start(
+                f"{self.service}.{kind}",
+                spanlib.SERVER,
+                env.now,
+                parent=spans.current,
+                service=self.service,
+                op=kind,
+            )
+
+        def stage_span(name: str, start_s: float, **attrs: Any) -> None:
+            if spans is not None and server_span is not None:
+                spans.emit(
+                    f"stage:{name}",
+                    spanlib.STAGE,
+                    start_s,
+                    env.now,
+                    parent=server_span.context,
+                    **attrs,
+                )
+
         try:
             if admit:
                 injector = self.fault_injector
                 if injector is not None:
+                    entered = env.now
                     yield from injector.intercept(self.owner, admit_op)
+                    stage_span("admission", entered)
 
             if base_latency_s > 0:
                 delay = self.latency.draw(self.rng, base_latency_s)
                 trace.base_latency_s = delay
+                entered = env.now
                 yield env.timeout(delay)
+                stage_span("base_latency", entered)
 
             if precheck is not None:
+                entered = env.now
                 precheck()
+                stage_span("precheck", entered)
 
             if route is not None:
                 if self.router is None:
@@ -196,17 +234,45 @@ class RequestPipeline:
                     )
                 trace.size_mb = spec.payload_mb
                 waited = [0.0]
+                routing_span = None
+                if spans is not None and server_span is not None:
+                    routing_span = spans.start(
+                        "stage:routing",
+                        spanlib.STAGE,
+                        env.now,
+                        parent=server_span.context,
+                        payload_mb=spec.payload_mb,
+                    )
 
                 def observe_wait(stage: str, seconds: float) -> None:
-                    waited[0] += seconds
+                    # Only queue/latch waits count as queue_wait_s; other
+                    # observer stages are span-only measurements.
+                    if stage.endswith("_wait"):
+                        waited[0] += seconds
+                    if spans is not None and routing_span is not None:
+                        spans.emit(
+                            stage,
+                            spanlib.WAIT
+                            if stage.endswith("_wait")
+                            else spanlib.STAGE,
+                            env.now - seconds,
+                            env.now,
+                            parent=routing_span.context,
+                        )
 
                 entered = env.now
-                yield from server.execute(spec, observer=observe_wait)
+                try:
+                    yield from server.execute(spec, observer=observe_wait)
+                finally:
+                    if spans is not None and routing_span is not None:
+                        spans.finish(routing_span, env.now)
                 trace.server_s = env.now - entered
                 trace.queue_wait_s = waited[0]
 
             if work_s > 0:
+                entered = env.now
                 yield env.timeout(work_s)
+                stage_span("work", entered)
 
             if transfer is not None:
                 xfer = transfer() if callable(transfer) else transfer
@@ -231,18 +297,51 @@ class RequestPipeline:
                     # network re-solve the affected component.
                     self.network.poke()
                 trace.transfer_s = env.now - started
+                if spans is not None and server_span is not None:
+                    stage = spans.start(
+                        "stage:transfer",
+                        spanlib.STAGE,
+                        started,
+                        parent=server_span.context,
+                        size_mb=xfer.size_mb,
+                    )
+                    spans.emit(
+                        f"flow:{xfer.label}" if xfer.label else "flow",
+                        spanlib.FLOW,
+                        started,
+                        env.now,
+                        parent=stage.context,
+                        size_mb=xfer.size_mb,
+                    )
+                    spans.finish(stage, env.now)
 
-            result = commit() if commit is not None else None
+            if commit is not None:
+                entered = env.now
+                result = commit()
+                stage_span("commit", entered)
+            else:
+                result = None
         except BaseException as error:
             trace.outcome = type(error).__name__
             trace.finished_at = env.now
             if self.tracer is not None:
                 self.tracer.observe(trace)
+            if spans is not None and server_span is not None:
+                spans.finish(server_span, env.now, type(error).__name__)
             raise
         trace.finished_at = env.now
         if self.tracer is not None:
             self.tracer.observe(trace)
+        if spans is not None and server_span is not None:
+            spans.finish(server_span, env.now)
         return result
+
+    def _span_tracer(self) -> Optional[SpanTracer]:
+        """The attached span collector, if any and enabled."""
+        spans = getattr(self.tracer, "spans", None)
+        if spans is None or not spans.enabled:
+            return None
+        return spans
 
 
 __all__ = ["LatencyProfile", "RequestPipeline", "TransferSpec"]

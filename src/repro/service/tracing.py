@@ -7,19 +7,26 @@ transfer time, outcome); every client call that runs through
 call-level record carrying the retry count.  Both land in a
 :class:`RequestTracer`, which is a bounded window over
 :class:`repro.simcore.tracing.TraceRecorder` plus exact running
-aggregates — so a full-scale experiment can keep tracing on without the
-event list growing with the run.
+aggregates and per-``(service, op)`` streaming latency histograms
+(:class:`repro.observability.histogram.Histogram`) — so a full-scale
+experiment can keep tracing on without the event list growing with the
+run, and percentiles survive the window trimming.
 
 The tracer is read back through :mod:`repro.monitoring`
 (:func:`~repro.monitoring.attach_request_tracer`,
-:func:`~repro.monitoring.request_summary`).
+:func:`~repro.monitoring.request_summary`).  Span-level tracing rides
+along: attach a :class:`repro.observability.spans.SpanTracer` as
+:attr:`RequestTracer.spans` and the client/pipeline/partition layers
+emit one causal span tree per request (see
+:mod:`repro.observability`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.observability.histogram import Histogram
 from repro.simcore.tracing import TraceRecorder
 
 #: Outcome value recorded for a request that completed without error.
@@ -61,9 +68,10 @@ class RequestTracer:
     """Bounded per-request trace log with exact running aggregates.
 
     ``capacity`` bounds how many individual records are retained (the
-    most recent ones win); the counters ``total``/``errors``/``dropped``
-    and the per-(service, op) tallies stay exact regardless of trimming.
-    Pass ``capacity=None`` to retain everything.
+    most recent ones win); the counters ``total``/``errors``/``dropped``,
+    the per-``(service, op)`` tallies and the streaming latency
+    histograms stay exact regardless of trimming.  Pass
+    ``capacity=None`` to retain everything.
     """
 
     #: Trace kinds used on the underlying recorder.
@@ -83,7 +91,14 @@ class RequestTracer:
         self.client_total = 0
         self.client_errors = 0
         self.retries = 0
-        self._per_op: Dict[str, Dict[str, float]] = {}
+        self._per_op: Dict[Tuple[str, str], Dict[str, float]] = {}
+        self._latency: Dict[Tuple[str, str], Histogram] = {}
+        self._client_per_op: Dict[Tuple[str, str], Dict[str, float]] = {}
+        self._client_latency: Dict[Tuple[str, str], Histogram] = {}
+        #: Optional span collector (see
+        #: :mod:`repro.observability.spans`); when attached, the client
+        #: and pipeline layers emit causal spans into it.
+        self.spans = None  # type: Optional[object]
 
     @property
     def enabled(self) -> bool:
@@ -108,10 +123,12 @@ class RequestTracer:
         if not trace.ok:
             self.client_errors += 1
         self.retries += trace.retries
+        self._fold_client(trace)
         self._append(self.CLIENT_KIND, trace)
 
     def _fold(self, trace: RequestTrace) -> None:
-        agg = self._per_op.get(trace.op)
+        key = (trace.service, trace.op)
+        agg = self._per_op.get(key)
         if agg is None:
             agg = {
                 "count": 0.0,
@@ -121,7 +138,7 @@ class RequestTracer:
                 "transfer_s": 0.0,
                 "size_mb": 0.0,
             }
-            self._per_op[trace.op] = agg
+            self._per_op[key] = agg
         agg["count"] += 1
         if not trace.ok:
             agg["errors"] += 1
@@ -129,6 +146,29 @@ class RequestTracer:
         agg["queue_wait_s"] += trace.queue_wait_s
         agg["transfer_s"] += trace.transfer_s
         agg["size_mb"] += trace.size_mb
+        if trace.ok:
+            hist = self._latency.get(key)
+            if hist is None:
+                hist = Histogram(f"{trace.service}.{trace.op}")
+                self._latency[key] = hist
+            hist.observe(trace.latency_s)
+
+    def _fold_client(self, trace: RequestTrace) -> None:
+        key = (trace.service, trace.op)
+        agg = self._client_per_op.get(key)
+        if agg is None:
+            agg = {"count": 0.0, "errors": 0.0, "retries": 0.0}
+            self._client_per_op[key] = agg
+        agg["count"] += 1
+        if not trace.ok:
+            agg["errors"] += 1
+        agg["retries"] += trace.retries
+        if trace.ok:
+            hist = self._client_latency.get(key)
+            if hist is None:
+                hist = Histogram(f"{trace.service}.{trace.op}.call")
+                self._client_latency[key] = hist
+            hist.observe(trace.latency_s)
 
     def _append(self, kind: str, trace: RequestTrace) -> None:
         self.recorder.record(trace.finished_at, kind, trace=trace)
@@ -162,13 +202,43 @@ class RequestTracer:
     def of_op(self, op: str) -> List[RequestTrace]:
         return [t for t in self.records() if t.op == op]
 
-    def per_op_totals(self) -> Dict[str, Dict[str, float]]:
-        """Exact per-op aggregate sums (never trimmed); keys are op kinds.
+    def per_service_op_totals(self) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """Exact aggregate sums keyed by ``(service, op)`` (never trimmed).
 
         Each value maps ``count / errors / latency_s / queue_wait_s /
-        transfer_s / size_mb`` to the running totals for that op.
+        transfer_s / size_mb`` to the running totals for that pair.
         """
-        return {op: dict(agg) for op, agg in self._per_op.items()}
+        return {key: dict(agg) for key, agg in self._per_op.items()}
+
+    def per_op_totals(self) -> Dict[str, Dict[str, float]]:
+        """Compatibility view of :meth:`per_service_op_totals`, keyed by
+        op kind alone (two services sharing an op name are summed —
+        use the ``(service, op)``-keyed form to keep them apart)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for (_service, op), agg in self._per_op.items():
+            merged = out.get(op)
+            if merged is None:
+                out[op] = dict(agg)
+            else:
+                for field, value in agg.items():
+                    merged[field] += value
+        return out
+
+    def client_per_op_totals(self) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """Exact client-call aggregates keyed by ``(service, op)``
+        (``count / errors / retries``)."""
+        return {key: dict(agg) for key, agg in self._client_per_op.items()}
+
+    def latency_histograms(self) -> Dict[Tuple[str, str], Histogram]:
+        """Per-``(service, op)`` streaming histograms of *successful*
+        server-side request latencies.  These survive capacity trimming,
+        which makes them the percentile source of record."""
+        return dict(self._latency)
+
+    def client_latency_histograms(self) -> Dict[Tuple[str, str], Histogram]:
+        """Per-``(service, op)`` histograms of successful client-call
+        latencies (the client-observed view, through retries/hedging)."""
+        return dict(self._client_latency)
 
     def clear(self) -> None:
         self.recorder.events.clear()
@@ -179,6 +249,9 @@ class RequestTracer:
         self.client_errors = 0
         self.retries = 0
         self._per_op.clear()
+        self._latency.clear()
+        self._client_per_op.clear()
+        self._client_latency.clear()
 
     def __repr__(self) -> str:
         return (

@@ -128,9 +128,13 @@ class PartitionServer:
 
         ``observer``, if given, is called as ``observer(stage, seconds)``
         with the time the request spent *queued* for the CPU pool
-        (``"cpu_wait"``) and the exclusive latch (``"latch_wait"``).  It
-        is a pure measurement hook: it draws no randomness and schedules
-        nothing, so tracing cannot perturb the simulation.
+        (``"cpu_wait"``) and the exclusive latch (``"latch_wait"``), and
+        with the busy segments it then spent being served
+        (``"frontend"``, ``"cpu_work"``, ``"latch_work"``).  Only the
+        ``*_wait`` stages are queueing; callers aggregating queue wait
+        must filter on that suffix.  It is a pure measurement hook: it
+        draws no randomness and schedules nothing, so tracing cannot
+        perturb the simulation.
 
         Raises :class:`OperationTimeoutError` if the request is shed.
         """
@@ -165,7 +169,10 @@ class PartitionServer:
                     * op.frontend_scale
                     * (self._active ** self.frontend_gamma)
                 )
-                yield env.timeout(self._jitter(penalty, op))
+                spent = self._jitter(penalty, op)
+                yield env.timeout(spent)
+                if observer is not None:
+                    observer("frontend", spent)
 
             # (2) CPU-pool work.
             if op.cpu_s > 0:
@@ -177,6 +184,8 @@ class PartitionServer:
                     work = self._jitter(op.cpu_s, op)
                     self.stats.busy_cpu_s += work
                     yield env.timeout(work)
+                    if observer is not None:
+                        observer("cpu_work", work)
 
             # (3) exclusive latch.
             if op.exclusive_s > 0:
@@ -189,7 +198,10 @@ class PartitionServer:
                     yield grant
                     if observer is not None:
                         observer("latch_wait", env.now - queued_at)
-                    yield env.timeout(self._jitter(op.exclusive_s, op))
+                    held = self._jitter(op.exclusive_s, op)
+                    yield env.timeout(held)
+                    if observer is not None:
+                        observer("latch_work", held)
 
             self.stats.completed += 1
         finally:

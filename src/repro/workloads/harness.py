@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.network import Datacenter, FlowNetwork, LatencyModel
+from repro.observability.spans import SpanTracer
 from repro.parallel import run_trials
 from repro.service.tracing import RequestTracer
 from repro.simcore import Environment, RandomStreams
@@ -46,6 +47,9 @@ class Platform:
     #: The account's shared per-request trace log (see
     #: :mod:`repro.service.tracing`); read via :mod:`repro.monitoring`.
     tracer: Optional[RequestTracer] = None
+    #: The span collector, when the platform was built with
+    #: ``spans=True`` (rides on the tracer; ``None`` otherwise).
+    spans: Optional[SpanTracer] = None
 
 
 class HostEndpoint:
@@ -62,11 +66,20 @@ def build_platform(
     n_clients: int = 192,
     racks: int = 16,
     hosts_per_rack: int = 16,
+    spans: bool = False,
+    span_capacity: Optional[int] = None,
 ) -> Platform:
     """Construct a fresh simulated Azure for one trial.
 
     Every subsystem draws from its own named stream of ``seed``, so two
-    trials with the same seed are bit-identical.
+    trials with the same seed are bit-identical.  With ``spans=True`` a
+    :class:`~repro.observability.spans.SpanTracer` is attached to the
+    account's request tracer, so every client call on this platform
+    emits a causal span tree (call → attempt → pipeline stage →
+    partition/network) — span capture is pure measurement, so results
+    stay bit-identical with it on or off.  ``span_capacity`` bounds
+    retention (``None`` keeps every span, the right setting for a
+    ``repro trace`` export).
     """
     if n_clients > racks * hosts_per_rack:
         raise ValueError(
@@ -80,6 +93,10 @@ def build_platform(
     account = StorageAccount(env, streams, network=network)
     latency = LatencyModel(streams.stream("latency"))
     clients = [HostEndpoint(h) for h in datacenter.hosts[:n_clients]]
+    span_tracer = None
+    if spans:
+        span_tracer = SpanTracer(capacity=span_capacity)
+        account.tracer.spans = span_tracer
     return Platform(
         env=env,
         streams=streams,
@@ -89,6 +106,7 @@ def build_platform(
         latency=latency,
         clients=clients,
         tracer=account.tracer,
+        spans=span_tracer,
     )
 
 

@@ -1,0 +1,131 @@
+"""Tests for the span exporters: Chrome trace, JSONL, waterfall."""
+
+import json
+
+import pytest
+
+from repro.observability.export import (
+    spans_from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    waterfall,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.spans import SpanTracer
+
+
+def _sample_tracer():
+    tracer = SpanTracer()
+    call = tracer.start("call:op", "client", 0.0, op="op")
+    attempt = tracer.start("attempt:op #0", "attempt", 0.0,
+                           parent=call.context)
+    server = tracer.start("svc.op", "server", 0.1, parent=attempt.context)
+    tracer.emit("stage:work", "stage", 0.1, 0.4, parent=server.context)
+    tracer.finish(server, 0.5)
+    tracer.finish(attempt, 0.5)
+    tracer.finish(call, 0.6)
+    return tracer
+
+
+def test_chrome_trace_schema():
+    doc = to_chrome_trace(_sample_tracer().spans())
+    events = doc["traceEvents"]
+    assert len(events) == 4
+    assert doc["metadata"]["spans_open_skipped"] == 0
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert event["pid"] == event["args"]["trace_id"]
+    call = next(e for e in events if e["cat"] == "client")
+    assert call["ts"] == pytest.approx(0.0)
+    assert call["dur"] == pytest.approx(0.6e6)  # microseconds
+
+
+def test_chrome_trace_skips_open_spans():
+    tracer = _sample_tracer()
+    tracer.start("still-open", "client", 1.0)
+    doc = to_chrome_trace(tracer.spans())
+    assert len(doc["traceEvents"]) == 4
+    assert doc["metadata"]["spans_open_skipped"] == 1
+
+
+def test_chrome_trace_lanes_separate_attempts():
+    """Hedge legs overlap in time; each attempt subtree gets its own
+    lane (tid) so the viewer renders them side by side."""
+    tracer = SpanTracer()
+    call = tracer.start("call:get", "client", 0.0)
+    lanes = set()
+    for i in range(2):
+        attempt = tracer.start(f"attempt:get #{i}", "attempt", 0.1 * i,
+                               parent=call.context)
+        tracer.emit("svc.get", "server", 0.1 * i, 0.5, parent=attempt.context)
+        tracer.finish(attempt, 0.5)
+    tracer.finish(call, 0.5)
+    events = to_chrome_trace(tracer.spans())["traceEvents"]
+    by_name = {e["name"]: e for e in events}
+    assert by_name["attempt:get #0"]["tid"] != by_name["attempt:get #1"]["tid"]
+    for i in range(2):
+        attempt = by_name[f"attempt:get #{i}"]
+        servers = [e for e in events
+                   if e["cat"] == "server"
+                   and e["args"]["parent_id"] == attempt["args"]["span_id"]]
+        assert servers and all(s["tid"] == attempt["tid"] for s in servers)
+    lanes = {e["tid"] for e in events}
+    assert len(lanes) == 3  # call lane + one per attempt
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    path = write_chrome_trace(tmp_path / "t.json", _sample_tracer().spans())
+    loaded = json.loads(path.read_text())
+    assert loaded["displayTimeUnit"] == "ms"
+    assert len(loaded["traceEvents"]) == 4
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = _sample_tracer()
+    tracer.start("open-span", "client", 2.0)  # open spans survive JSONL
+    path = write_jsonl(tmp_path / "spans.jsonl", tracer.spans())
+    restored = spans_from_jsonl(path.read_text())
+    assert len(restored) == len(tracer.spans())
+    for orig, back in zip(tracer.spans(), restored):
+        assert back.name == orig.name
+        assert back.kind == orig.kind
+        assert back.span_id == orig.span_id
+        assert back.parent_id == orig.parent_id
+        assert back.trace_id == orig.trace_id
+        assert back.start_s == orig.start_s
+        assert back.end_s == orig.end_s
+        assert back.status == orig.status
+
+
+def test_jsonl_lines_are_parseable():
+    for line in to_jsonl(_sample_tracer().spans()):
+        record = json.loads(line)
+        assert "span_id" in record and "start_s" in record
+
+
+def test_waterfall_renders_tree_depth_and_timing():
+    out = waterfall(_sample_tracer().spans())
+    lines = out.splitlines()
+    assert "trace 1" in lines[0]
+    assert lines[1].startswith("call:op")
+    assert "  attempt:op #0" in lines[2]
+    assert "      stage:work" in lines[4]
+    assert "+300.000ms" in lines[4]
+
+
+def test_waterfall_marks_errors_and_open_spans():
+    tracer = SpanTracer()
+    root = tracer.start("call", "client", 0.0)
+    tracer.emit("bad", "stage", 0.0, 0.1, parent=root.context,
+                status="TimeoutError")
+    out = waterfall(tracer.spans())
+    assert "!TimeoutError" in out
+    assert "…open" in out  # the root is still open
+
+
+def test_waterfall_empty_and_missing_trace():
+    assert waterfall([]) == "(no spans)"
+    tracer = _sample_tracer()
+    assert "no spans in trace 99" in waterfall(tracer.spans(), trace_id=99)

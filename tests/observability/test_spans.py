@@ -1,0 +1,146 @@
+"""Tests for the span tracer: lifecycle, binding semantics, retention."""
+
+import pytest
+
+from repro.observability.spans import ABANDONED, SpanTracer
+from repro.simcore import Environment
+
+
+def test_span_lifecycle_and_context():
+    env = Environment()
+    tracer = SpanTracer()
+    root = tracer.start("call:op", "client", env.now, op="op")
+    assert root.parent_id is None
+    assert root.trace_id == 1
+    assert not root.finished
+    child = tracer.start("attempt", "attempt", env.now, parent=root.context)
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+    tracer.finish(child, 1.5)
+    tracer.finish(root, 2.0)
+    assert child.duration_s == pytest.approx(1.5)
+    assert root.ok and child.ok
+    assert tracer.started == 2 and tracer.finished == 2
+    # finish is idempotent (abandoned generators may close twice).
+    tracer.finish(root, 9.0, "late")
+    assert root.end_s == 2.0 and root.status == "ok"
+
+
+def test_emit_records_complete_span():
+    tracer = SpanTracer()
+    span = tracer.emit("wait", "wait", 1.0, 1.25, status="ok", stage="cpu")
+    assert span.finished
+    assert span.duration_s == pytest.approx(0.25)
+    assert span.attributes["stage"] == "cpu"
+
+
+def test_new_traces_get_fresh_ids():
+    tracer = SpanTracer()
+    a = tracer.start("a", "client", 0.0)
+    b = tracer.start("b", "client", 0.0)
+    assert a.trace_id != b.trace_id
+    assert tracer.traces().keys() == {a.trace_id, b.trace_id}
+    assert tracer.trace(a.trace_id) == [a]
+
+
+def test_open_spans_and_clear():
+    tracer = SpanTracer()
+    span = tracer.start("a", "client", 0.0)
+    assert tracer.open_spans() == [span]
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.started == 0 and tracer.current is None
+
+
+def test_capacity_trims_oldest_but_counts_stay_exact():
+    tracer = SpanTracer(capacity=10)
+    for i in range(40):
+        tracer.emit(f"s{i}", "stage", float(i), float(i) + 0.5)
+    assert len(tracer) <= 10 + 10 // 4
+    assert tracer.started == 40
+    assert tracer.dropped >= 40 - (10 + 10 // 4)
+    # The newest spans win.
+    assert tracer.spans()[-1].name == "s39"
+    with pytest.raises(ValueError):
+        SpanTracer(capacity=0)
+
+
+def test_bind_sets_ambient_context_per_advance():
+    """tracer.current is the bound span's context during each advance of
+    the wrapped generator — and not outside it, even when two bound
+    processes interleave."""
+    env = Environment()
+    tracer = SpanTracer()
+    seen = {}
+
+    def proc(name, delay):
+        seen[(name, "first")] = tracer.current
+        yield env.timeout(delay)
+        seen[(name, "second")] = tracer.current
+
+    spans = {}
+    for name, delay in (("a", 1.0), ("b", 0.5)):
+        span = tracer.start(name, "attempt", env.now)
+        spans[name] = span
+        env.process(tracer.bind(env, proc(name, delay), span))
+    env.run()
+    for name in ("a", "b"):
+        assert seen[(name, "first")] == spans[name].context
+        assert seen[(name, "second")] == spans[name].context
+    assert tracer.current is None
+    assert spans["a"].end_s == pytest.approx(1.0)
+    assert spans["b"].end_s == pytest.approx(0.5)
+
+
+def test_bind_finishes_span_with_exception_status():
+    env = Environment()
+    tracer = SpanTracer()
+
+    def boom():
+        yield env.timeout(1.0)
+        raise RuntimeError("nope")
+
+    span = tracer.start("x", "attempt", env.now)
+    proc = env.process(tracer.bind(env, boom(), span))
+    proc.defuse()
+    env.run()
+    assert span.finished
+    assert span.status == "RuntimeError"
+    assert tracer.errors == 1
+
+
+def test_bind_marks_torn_down_generator_abandoned():
+    env = Environment()
+    tracer = SpanTracer()
+
+    def forever():
+        while True:
+            yield env.timeout(1.0)
+
+    span = tracer.start("loser", "attempt", env.now)
+    wrapped = tracer.bind(env, forever(), span)
+    next(wrapped)  # start it
+    wrapped.close()  # hedging loser / orphan teardown
+    assert span.finished
+    assert span.status == ABANDONED
+
+
+def test_bind_returns_inner_value_and_passes_events_through():
+    env = Environment()
+    tracer = SpanTracer()
+
+    def inner():
+        yield env.timeout(2.0)
+        return 42
+
+    span = tracer.start("call", "attempt", env.now)
+    result = []
+
+    def driver():
+        value = yield from tracer.bind(env, inner(), span)
+        result.append(value)
+
+    env.process(driver())
+    env.run()
+    assert result == [42]
+    assert span.end_s == pytest.approx(2.0)

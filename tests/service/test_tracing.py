@@ -92,6 +92,46 @@ def test_of_op_filters():
     assert [t.op for t in tracer.of_op("a")] == ["a", "a"]
 
 
+def test_per_service_op_totals_keep_services_apart():
+    tracer = RequestTracer()
+    tracer.observe(_trace(service="blob", op="get"))
+    tracer.observe(_trace(service="table", op="get"))
+    tracer.observe(
+        _trace(service="table", op="get", outcome="ServerBusyError")
+    )
+    exact = tracer.per_service_op_totals()
+    assert exact[("blob", "get")]["count"] == 1
+    assert exact[("table", "get")]["count"] == 2
+    assert exact[("table", "get")]["errors"] == 1
+    # The op-keyed compatibility view merges across services.
+    merged = tracer.per_op_totals()
+    assert merged["get"]["count"] == 3
+    assert merged["get"]["errors"] == 1
+
+
+def test_latency_histograms_survive_trimming_and_skip_failures():
+    tracer = RequestTracer(capacity=10)
+    for i in range(200):
+        tracer.observe(_trace(started_at=0.0, finished_at=0.1))
+    tracer.observe(_trace(outcome="ServerBusyError", finished_at=9.0))
+    assert tracer.dropped > 0
+    hist = tracer.latency_histograms()[("svc", "svc.op")]
+    assert hist.count == 200  # failures excluded, trimming irrelevant
+    assert hist.percentile(99) == pytest.approx(0.1, rel=0.03)
+    assert tracer.latency_histograms() is not tracer.latency_histograms()
+
+
+def test_client_latency_histograms_track_call_level_view():
+    tracer = RequestTracer()
+    tracer.observe_call(_trace(started_at=0.0, finished_at=0.5, retries=1))
+    tracer.observe_call(_trace(outcome="ClientTimeoutError", retries=3))
+    hists = tracer.client_latency_histograms()
+    assert hists[("svc", "svc.op")].count == 1
+    calls = tracer.client_per_op_totals()[("svc", "svc.op")]
+    assert calls["count"] == 2 and calls["errors"] == 1
+    assert calls["retries"] == 4
+
+
 def test_disabled_tracer_records_nothing():
     tracer = RequestTracer(enabled=False)
     assert not tracer.enabled
