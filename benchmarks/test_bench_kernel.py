@@ -10,6 +10,7 @@ profiling side of the loop).
 
 from repro.perfsnapshot import (
     component_churn,
+    failover_churn,
     flow_churn,
     race_churn,
     resource_churn,
@@ -48,3 +49,11 @@ def test_bench_component_churn(benchmark):
         lambda: component_churn(n_components=16, n_flows=25, churns=200)
     )
     assert done == 200
+
+
+def test_bench_failover_churn(benchmark):
+    """Every call fails over to the secondary replica: the routing +
+    transport-classification + second-retry-pass cost of the
+    geo-failover client path."""
+    done = benchmark(lambda: failover_churn(n_clients=20, ops=50))
+    assert done == 1_000

@@ -8,6 +8,8 @@ Usage::
     python -m repro calibration
     python -m repro drill storm [--scale 0.5] [--seed 3] [--json out.json]
     python -m repro drill spike
+    python -m repro campaign month [--scale 0.5] [--seed 3] [--json out.json]
+    python -m repro campaign day --modes none,automatic
     python -m repro trace --out trace.json [--fmt chrome|jsonl|waterfall]
     python -m repro slo [--availability 0.99] [--latency-ms 500]
 """
@@ -136,6 +138,41 @@ def _cmd_drill(args: argparse.Namespace) -> int:
             json.dump(exported, fh, indent=2, sort_keys=True)
         print(f"wrote machine-readable results to {args.json}")
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.resilience.campaign import (
+        CAMPAIGN_MODES,
+        CAMPAIGN_SCENARIOS,
+        run_campaign,
+    )
+
+    modes = None
+    if args.modes:
+        modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+        unknown = [m for m in modes if m not in CAMPAIGN_MODES]
+        if unknown:
+            print(
+                f"unknown failover mode(s) {unknown}; choose from "
+                f"{list(CAMPAIGN_MODES)}",
+                file=sys.stderr,
+            )
+            return 2
+    spec = CAMPAIGN_SCENARIOS[args.scenario](
+        seed=args.seed, scale=args.scale
+    )
+    start = time.time()
+    report = run_campaign(spec, modes=modes)
+    elapsed = time.time() - start
+    print(report.render())
+    print(f"\n({args.scenario} campaign finished in {elapsed:.1f}s)")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote machine-readable campaign report to {args.json}")
+    return 0 if report.passed else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -361,6 +398,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write machine-readable verdicts to this JSON file",
     )
     p_drill.set_defaults(func=_cmd_drill)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help=(
+            "replay a long-horizon correlated-failure schedule (rack/"
+            "zone/WAN outages) against the geo-failover modes and "
+            "report user-side availability + SLO burn"
+        ),
+    )
+    p_campaign.add_argument(
+        "scenario",
+        choices=["month", "day"],
+        help=(
+            "month = 30 simulated days with rack, zone, WAN and region "
+            "outages; day = the 24-hour smoke schedule CI runs"
+        ),
+    )
+    p_campaign.add_argument(
+        "--scale", type=float, default=1.0,
+        help=(
+            "time scale for the campaign horizon and fault schedule "
+            "(op cadence is fixed, so smaller scales issue fewer ops)"
+        ),
+    )
+    p_campaign.add_argument("--seed", type=int, default=3)
+    p_campaign.add_argument(
+        "--modes", metavar="M1,M2", default=None,
+        help=(
+            "comma-separated failover modes to replay (default: "
+            "none,manual,automatic)"
+        ),
+    )
+    p_campaign.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the machine-readable report to this JSON file",
+    )
+    p_campaign.set_defaults(func=_cmd_campaign)
 
     p_bench = sub.add_parser(
         "bench",

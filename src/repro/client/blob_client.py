@@ -34,10 +34,12 @@ class BlobClient(ServiceClient):
         budget: Optional[Any] = None,
         breaker: Optional[Any] = None,
         hedge: Optional[HedgePolicy] = None,
+        **replica_kwargs: Any,
     ) -> None:
         super().__init__(
             service, timeout_s=None, retry=retry,
             budget=budget, breaker=breaker, hedge=hedge,
+            **replica_kwargs,
         )
         self.endpoint = endpoint
 

@@ -25,28 +25,69 @@ emitted by the request pipeline itself).  When the tracer carries a
 ``call:<op>`` span and every raw attempt (each retry, each hedge leg)
 runs under its own ``attempt`` span bound as ambient context, so the
 pipeline's server spans parent themselves into the right attempt.
+
+Replica-aware routing
+---------------------
+A client built with a ``secondary`` service (usually via a
+:class:`~repro.storage.account.GeoReplicatedAccount` helper) learns
+three more behaviours, all governed by :class:`FailoverPolicy`:
+
+* **routing** — ``self.service`` resolves per *attempt* to the replica
+  the current leg targets (op-table lambdas bind the service at
+  invocation time, so the same op tables serve both replicas);
+* **failover** — when the whole first-replica pass fails with a
+  transport failure (:func:`repro.storage.errors.is_transport_failure`)
+  after the retry budget, the call runs one more full retry pass
+  against the other replica before giving up;
+* **hedged reads** — idempotent ops with a
+  :class:`~repro.resilience.hedging.HedgePolicy` launch their hedge
+  backup against the *other* replica, so a slow or dying region is
+  raced against a healthy one.
+
+Attempt spans carry a ``replica`` attribute on replica-aware clients,
+so ``repro trace`` renders cross-region failover waterfalls.  Clients
+without a secondary take exactly the seed code path: no extra events,
+no extra span attributes, bit-identical golden outputs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
-from repro.client.base import measured_call, with_retries
+from repro.client.base import OperationOutcome, measured_call, with_retries
 from repro.observability import spans as spanlib
 from repro.observability.spans import Span, SpanTracer
 from repro.resilience.backoff import RetryPolicy
 from repro.resilience.hedging import HedgePolicy, hedged_call
 from repro.service.tracing import OK, RequestTrace, RequestTracer
+from repro.storage.errors import is_transport_failure
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """When and how a replica-aware client uses the other replica."""
+
+    #: Master switch for the cross-replica failover pass.
+    enabled: bool = True
+    #: Hedge idempotent reads against the other replica (needs a
+    #: :class:`HedgePolicy` on the client to actually launch hedges).
+    hedge_secondary: bool = True
+    #: After a successful failover to the secondary, keep routing there
+    #: for this long (0 = re-resolve every call).  Ignored when a
+    #: ``route_hint`` (an account's failover state machine) routes.
+    pin_secondary_s: float = 0.0
 
 
 class ServiceClient:
-    """Shared retry/hedge/breaker wiring for one storage service.
+    """Shared retry/hedge/breaker/failover wiring for one storage service.
 
     Parameters
     ----------
     service:
-        The service endpoint; must expose ``env`` and (optionally) a
-        ``tracer`` the client inherits for call-level traces.
+        The (primary) service endpoint; must expose ``env`` and
+        (optionally) a ``tracer`` the client inherits for call-level
+        traces.
     timeout_s:
         Client-side operation timeout raced against every attempt
         (None disables the race — blob transfers stream instead).
@@ -57,6 +98,22 @@ class ServiceClient:
     hedge:
         Optional :class:`HedgePolicy`, applied only to ops a subclass
         marks ``hedgeable=True`` (idempotent reads).
+    secondary:
+        Optional same-shaped replica endpoint; enables replica routing,
+        the failover pass and cross-replica hedging.
+    failover:
+        :class:`FailoverPolicy` for the secondary (defaults on).
+    route_hint:
+        Optional callable returning ``"primary"``/``"secondary"``: which
+        replica a fresh call should target (an account's failover state
+        machine plugs in here).
+    write_guard:
+        Optional callable ``(kind, replica)`` raising a retryable error
+        when the replica cannot accept a mutating op (read-only
+        promotion windows, writes to the demoted replica).
+    on_commit:
+        Optional callable ``(kind, replica)`` invoked after a successful
+        call (replication-lag accounting).
     """
 
     def __init__(
@@ -67,17 +124,111 @@ class ServiceClient:
         budget: Optional[Any] = None,
         breaker: Optional[Any] = None,
         hedge: Optional[HedgePolicy] = None,
+        secondary: Optional[Any] = None,
+        failover: Optional[FailoverPolicy] = None,
+        route_hint: Optional[Callable[[], str]] = None,
+        write_guard: Optional[Callable[[str, str], None]] = None,
+        on_commit: Optional[Callable[[str, str], None]] = None,
     ) -> None:
-        self.service = service
+        self._primary = service
         self.env = service.env
         self.timeout_s = timeout_s
         self.retry = retry if retry is not None else RetryPolicy()
         self.budget = budget
         self.breaker = breaker
         self.hedge = hedge
+        self.secondary = secondary
+        self.failover = failover if failover is not None else FailoverPolicy()
+        self.route_hint = route_hint
+        self.write_guard = write_guard
+        self.on_commit = on_commit
+        #: Calls that succeeded only via the cross-replica failover pass.
+        self.failovers = 0
+        self._route_override: Optional[str] = None
+        self._pinned_until = float("-inf")
         self.tracer: Optional[RequestTracer] = getattr(
             service, "tracer", None
         )
+
+    # -- replica routing ---------------------------------------------------
+    @property
+    def service(self) -> Any:
+        """The replica this attempt (or a fresh call) targets.
+
+        Op tables read ``self.service`` when an attempt factory is
+        invoked, so each retry/hedge/failover leg re-resolves it; with
+        no secondary this is always the primary, as in the seed.
+        """
+        replica = self._route_override
+        if replica is None and self.secondary is not None:
+            replica = self._default_replica()
+        if replica == "secondary" and self.secondary is not None:
+            return self.secondary
+        return self._primary
+
+    def _default_replica(self) -> str:
+        if self.secondary is None:
+            return "primary"
+        if self.route_hint is not None:
+            return (
+                "secondary" if self.route_hint() == "secondary" else "primary"
+            )
+        if self.env.now < self._pinned_until:
+            return "secondary"
+        return "primary"
+
+    def _routed(
+        self, make: Callable[[], Generator], replica: str
+    ) -> Callable[[], Generator]:
+        """Pin ``self.service`` to ``replica`` while the op-table lambda
+        builds its generator (service resolution is synchronous)."""
+
+        def factory() -> Generator:
+            previous = self._route_override
+            self._route_override = replica
+            try:
+                return make()
+            finally:
+                self._route_override = previous
+
+        return factory
+
+    def _write_guarded(
+        self, kind: str, make: Callable[[], Generator], replica: str
+    ) -> Callable[[], Generator]:
+        """Run the write guard inside the attempt generator, so a
+        rejection surfaces through the retry/span machinery like any
+        other per-attempt failure."""
+
+        def guarded() -> Generator:
+            assert self.write_guard is not None
+            self.write_guard(kind, replica)
+            result = yield from make()
+            return result
+
+        return lambda: guarded()
+
+    def _leg(
+        self,
+        kind: str,
+        make: Callable[[], Generator],
+        hedgeable: bool,
+        spans: Optional[SpanTracer],
+        call_span: Optional[Span],
+        counter: list,
+        replica: Optional[str],
+    ) -> Callable[[], Generator]:
+        """Compose one replica's attempt factory: routing, write guard,
+        attempt span."""
+        inner = make
+        if replica is not None:
+            inner = self._routed(make, replica)
+        if self.write_guard is not None and not hedgeable:
+            inner = self._write_guarded(kind, inner, replica or "primary")
+        if spans is not None and call_span is not None:
+            inner = self._spanned(kind, inner, spans, call_span, counter,
+                                  replica)
+        return inner
 
     # -- the one call path -------------------------------------------------
     def _attempt(
@@ -85,10 +236,14 @@ class ServiceClient:
         kind: str,
         make: Callable[[], Generator],
         hedgeable: bool,
+        backup: Optional[Callable[[], Generator]] = None,
     ) -> Callable[[], Generator]:
         """Wrap the attempt factory with hedging where allowed."""
         if hedgeable and self.hedge is not None:
-            return lambda: hedged_call(self.env, make, self.hedge, kind)
+            hedge = self.hedge
+            return lambda: hedged_call(
+                self.env, make, hedge, kind, make_backup=backup
+            )
         return make
 
     def _span_tracer(self) -> Optional[SpanTracer]:
@@ -103,25 +258,41 @@ class ServiceClient:
         make: Callable[[], Generator],
         spans: SpanTracer,
         call_span: Span,
+        counter: list,
+        replica: Optional[str] = None,
     ) -> Callable[[], Generator]:
         """Wrap the *raw* attempt factory so every invocation — each
-        retry, each hedge leg — runs under its own attempt span, bound
-        as the ambient context the server span will parent into."""
-        counter = [0]
+        retry, each hedge leg, each failover leg — runs under its own
+        attempt span, bound as the ambient context the server span will
+        parent into.  ``counter`` is shared across a call's legs, so
+        attempt indices stay globally ordered within the call."""
 
         def factory() -> Generator:
             index = counter[0]
             counter[0] += 1
+            attrs: dict = {"attempt": index}
+            if replica is not None:
+                attrs["replica"] = replica
             attempt = spans.start(
                 f"attempt:{kind} #{index}",
                 spanlib.ATTEMPT,
                 self.env.now,
                 parent=call_span.context,
-                attempt=index,
+                **attrs,
             )
             return spans.bind(self.env, make(), attempt)
 
         return factory
+
+    def _use_failover(self) -> bool:
+        return self.secondary is not None and self.failover.enabled
+
+    def _note_failover(self, replica: str) -> None:
+        self.failovers += 1
+        if replica == "secondary" and self.failover.pin_secondary_s > 0:
+            self._pinned_until = (
+                self.env.now + self.failover.pin_secondary_s
+            )
 
     def _call(
         self,
@@ -132,6 +303,7 @@ class ServiceClient:
         """Raising variant: result or the final (post-retry) error."""
         spans = self._span_tracer()
         call_span = None
+        counter = [0]
         if spans is not None:
             call_span = spans.start(
                 f"call:{kind}",
@@ -140,29 +312,81 @@ class ServiceClient:
                 parent=spans.current,
                 op=kind,
             )
-            make = self._spanned(kind, make, spans, call_span)
-        factory = self._attempt(kind, make, hedgeable)
         started_at = self.env.now
         retries = [0]
 
         def count_retry(_error: BaseException, _attempt: int) -> None:
             retries[0] += 1
 
-        try:
-            result = yield from with_retries(
-                self.env, factory, self.retry, self.timeout_s, kind,
-                on_retry=count_retry,
-                budget=self.budget, breaker=self.breaker,
+        def leg(replica: Optional[str]) -> Callable[[], Generator]:
+            return self._leg(kind, make, hedgeable, spans, call_span,
+                             counter, replica)
+
+        if not self._use_failover():
+            replica = None if self.secondary is None else (
+                self._default_replica()
             )
+            factory = self._attempt(kind, leg(replica), hedgeable)
+            try:
+                result = yield from with_retries(
+                    self.env, factory, self.retry, self.timeout_s, kind,
+                    on_retry=count_retry,
+                    budget=self.budget, breaker=self.breaker,
+                )
+            except Exception as error:
+                self._trace_call(kind, started_at, retries[0], error)
+                if spans is not None and call_span is not None:
+                    call_span.attributes["retries"] = retries[0]
+                    spans.finish(call_span, self.env.now,
+                                 type(error).__name__)
+                raise
+            self._commit_hook(kind, replica or "primary")
+            self._trace_call(kind, started_at, retries[0], None)
+            if spans is not None and call_span is not None:
+                call_span.attributes["retries"] = retries[0]
+                spans.finish(call_span, self.env.now)
+            return result
+
+        first = self._default_replica()
+        second = "secondary" if first == "primary" else "primary"
+        backup = (
+            leg(second)
+            if hedgeable and self.failover.hedge_secondary
+            and self.hedge is not None
+            else None
+        )
+        factory = self._attempt(kind, leg(first), hedgeable, backup)
+        used = first
+        try:
+            try:
+                result = yield from with_retries(
+                    self.env, factory, self.retry, self.timeout_s, kind,
+                    on_retry=count_retry,
+                    budget=self.budget, breaker=self.breaker,
+                )
+            except Exception as error:
+                if not is_transport_failure(error):
+                    raise
+                # The whole first-replica pass failed at transport
+                # level: one more full retry pass, other replica.
+                result = yield from with_retries(
+                    self.env, leg(second), self.retry, self.timeout_s,
+                    kind, on_retry=count_retry,
+                    budget=self.budget, breaker=self.breaker,
+                )
+                used = second
+                self._note_failover(second)
         except Exception as error:
             self._trace_call(kind, started_at, retries[0], error)
             if spans is not None and call_span is not None:
                 call_span.attributes["retries"] = retries[0]
                 spans.finish(call_span, self.env.now, type(error).__name__)
             raise
+        self._commit_hook(kind, used)
         self._trace_call(kind, started_at, retries[0], None)
         if spans is not None and call_span is not None:
             call_span.attributes["retries"] = retries[0]
+            call_span.attributes["replica"] = used
             spans.finish(call_span, self.env.now)
         return result
 
@@ -175,6 +399,7 @@ class ServiceClient:
         """Measured variant: ``(result_or_None, OperationOutcome)``."""
         spans = self._span_tracer()
         call_span = None
+        counter = [0]
         if spans is not None:
             call_span = spans.start(
                 f"call:{kind}",
@@ -183,16 +408,60 @@ class ServiceClient:
                 parent=spans.current,
                 op=kind,
             )
-            make = self._spanned(kind, make, spans, call_span)
-        factory = self._attempt(kind, make, hedgeable)
         started_at = self.env.now
-        result, outcome = yield from measured_call(
-            self.env, factory, self.retry, self.timeout_s, kind,
-            budget=self.budget, breaker=self.breaker,
-        )
+
+        def leg(replica: Optional[str]) -> Callable[[], Generator]:
+            return self._leg(kind, make, hedgeable, spans, call_span,
+                             counter, replica)
+
+        if not self._use_failover():
+            replica = None if self.secondary is None else (
+                self._default_replica()
+            )
+            factory = self._attempt(kind, leg(replica), hedgeable)
+            result, outcome = yield from measured_call(
+                self.env, factory, self.retry, self.timeout_s, kind,
+                budget=self.budget, breaker=self.breaker,
+            )
+            used = replica or "primary"
+        else:
+            first = self._default_replica()
+            second = "secondary" if first == "primary" else "primary"
+            backup = (
+                leg(second)
+                if hedgeable and self.failover.hedge_secondary
+                and self.hedge is not None
+                else None
+            )
+            factory = self._attempt(kind, leg(first), hedgeable, backup)
+            result, outcome = yield from measured_call(
+                self.env, factory, self.retry, self.timeout_s, kind,
+                budget=self.budget, breaker=self.breaker,
+            )
+            used = first
+            if outcome.error is not None and is_transport_failure(
+                outcome.error
+            ):
+                result, second_outcome = yield from measured_call(
+                    self.env, leg(second), self.retry, self.timeout_s,
+                    kind, budget=self.budget, breaker=self.breaker,
+                )
+                outcome = OperationOutcome(
+                    started_at,
+                    self.env.now,
+                    second_outcome.error,
+                    outcome.retries + second_outcome.retries,
+                )
+                used = second
+                if second_outcome.ok:
+                    self._note_failover(second)
+        if outcome.ok:
+            self._commit_hook(kind, used)
         self._trace_call(kind, started_at, outcome.retries, outcome.error)
         if spans is not None and call_span is not None:
             call_span.attributes["retries"] = outcome.retries
+            if self.secondary is not None:
+                call_span.attributes["replica"] = used
             spans.finish(
                 call_span,
                 self.env.now,
@@ -200,6 +469,10 @@ class ServiceClient:
                 else type(outcome.error).__name__,
             )
         return result, outcome
+
+    def _commit_hook(self, kind: str, replica: str) -> None:
+        if self.on_commit is not None:
+            self.on_commit(kind, replica)
 
     def _trace_call(
         self,
@@ -222,4 +495,4 @@ class ServiceClient:
         )
 
 
-__all__ = ["ServiceClient"]
+__all__ = ["FailoverPolicy", "ServiceClient"]

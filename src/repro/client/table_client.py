@@ -30,10 +30,12 @@ class TableClient(ServiceClient):
         budget: Optional[Any] = None,
         breaker: Optional[Any] = None,
         hedge: Optional[HedgePolicy] = None,
+        **replica_kwargs: Any,
     ) -> None:
         super().__init__(
             service, timeout_s=timeout_s, retry=retry,
             budget=budget, breaker=breaker, hedge=hedge,
+            **replica_kwargs,
         )
 
     # -- raising API ---------------------------------------------------------

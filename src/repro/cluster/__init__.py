@@ -21,9 +21,19 @@ from repro.cluster.placement import (
 from repro.cluster.lifecycle import LifecycleTimingModel
 from repro.cluster.fabric import Deployment, DeploymentPhase, FabricController
 from repro.cluster.degradation import DegradationModel
+from repro.cluster.domains import (
+    DOMAIN_KINDS,
+    FailureDomain,
+    register_account,
+    register_datacenter,
+)
 
 __all__ = [
+    "DOMAIN_KINDS",
     "DegradationModel",
+    "FailureDomain",
+    "register_account",
+    "register_datacenter",
     "Deployment",
     "DeploymentPhase",
     "FabricController",

@@ -1,0 +1,176 @@
+"""Failure domains: the node → rack → zone → region blast-radius tree.
+
+The paper's Section 6.3 lesson ("errors that did not occur at lower
+scale will begin to become common as scale increases") is about
+*correlated* failure: a rack power event or a WAN partition does not
+take out one partition server, it takes out every server, NIC and
+uplink in a physical domain at once.  This module gives the simulator
+that physical structure:
+
+* :class:`FailureDomain` — one node of the hierarchy.  Partition
+  servers (or whole services), and network links (host NICs, rack
+  uplinks, WAN circuits) register into the domain they live in; a
+  fault scheduled on any domain applies to every member of its entire
+  subtree atomically.
+* :func:`register_datacenter` — maps a
+  :class:`~repro.network.topology.Datacenter` onto per-rack child
+  domains (ToR uplinks + host NICs registered per rack).
+* :func:`register_account` — registers a
+  :class:`~repro.storage.StorageAccount`'s three services into a
+  domain, so a zone/region fault takes the whole endpoint down.
+
+The tree is pure bookkeeping: building it creates no simulation events
+and draws no randomness, so constructing domains around an existing
+experiment cannot perturb its golden outputs.  The correlated-fault
+semantics live in :class:`repro.faults.DomainFaultInjector`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Valid domain kinds, smallest to largest blast radius.  ``wan`` is a
+#: virtual domain holding cross-region links (and whatever is only
+#: reachable across them); ``world`` is the conventional root kind.
+DOMAIN_KINDS = ("node", "rack", "zone", "region", "wan", "world")
+
+
+class FailureDomain:
+    """One vertex of the node → rack → zone → region hierarchy.
+
+    Names must be unique across the whole tree (they are the handle a
+    :class:`~repro.faults.DomainFault` schedule refers to); the root
+    keeps the registry, so lookups from any domain see the full tree.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        parent: Optional["FailureDomain"] = None,
+    ) -> None:
+        if kind not in DOMAIN_KINDS:
+            raise ValueError(
+                f"unknown domain kind {kind!r}; expected one of {DOMAIN_KINDS}"
+            )
+        self.name = name
+        self.kind = kind
+        self.parent = parent
+        self.children: List["FailureDomain"] = []
+        #: Direct members only; subtree aggregation is :meth:`all_servers`
+        #: / :meth:`all_links`.
+        self.servers: List[Any] = []
+        self.links: List[Any] = []
+        if parent is None:
+            self._registry: Dict[str, "FailureDomain"] = {name: self}
+        else:
+            registry = parent.root._registry
+            if name in registry:
+                raise ValueError(f"duplicate domain name {name!r}")
+            registry[name] = self
+            parent.children.append(self)
+
+    # -- tree navigation ---------------------------------------------------
+    @property
+    def root(self) -> "FailureDomain":
+        domain = self
+        while domain.parent is not None:
+            domain = domain.parent
+        return domain
+
+    def find(self, name: str) -> "FailureDomain":
+        """Look up a domain anywhere in this tree by its unique name."""
+        try:
+            return self.root._registry[name]
+        except KeyError:
+            raise KeyError(f"no failure domain named {name!r}") from None
+
+    def walk(self) -> Iterator["FailureDomain"]:
+        """This domain and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def ancestors(self) -> Iterator["FailureDomain"]:
+        """Parent chain from this domain up to (and including) the root."""
+        domain = self.parent
+        while domain is not None:
+            yield domain
+            domain = domain.parent
+
+    # -- membership --------------------------------------------------------
+    def register_server(self, server: Any) -> None:
+        """Register a fault target: a partition server, or any service
+        exposing either a ``fault_injector`` slot or a ``servers()``
+        method (expanded to its live partition servers at fault time)."""
+        self.servers.append(server)
+
+    def register_link(self, link: Any) -> None:
+        """Register a network link; a domain fault slashes its flows'
+        rate to the blackout floor for the fault's duration."""
+        self.links.append(link)
+
+    def all_servers(self) -> List[Any]:
+        """Every server registered in this subtree (document order)."""
+        out: List[Any] = []
+        for domain in self.walk():
+            out.extend(domain.servers)
+        return out
+
+    def all_links(self) -> List[Any]:
+        """Every link registered in this subtree (document order)."""
+        out: List[Any] = []
+        for domain in self.walk():
+            out.extend(domain.links)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailureDomain {self.name} kind={self.kind} "
+            f"children={len(self.children)} servers={len(self.servers)} "
+            f"links={len(self.links)}>"
+        )
+
+
+def register_datacenter(
+    domain: FailureDomain, datacenter: Any, prefix: Optional[str] = None
+) -> List[FailureDomain]:
+    """Map a :class:`~repro.network.topology.Datacenter` under ``domain``.
+
+    Creates one ``rack``-kind child per physical rack, registering the
+    ToR uplink pair and every host NIC pair into it.  Returns the rack
+    domains in rack-index order.  Pure bookkeeping (no events, no RNG).
+    """
+    prefix = prefix if prefix is not None else domain.name
+    rack_domains: List[FailureDomain] = []
+    for rack in datacenter.racks:
+        rack_domain = FailureDomain(
+            f"{prefix}/rack{rack.index}", "rack", parent=domain
+        )
+        rack_domain.register_link(rack.uplink_tx)
+        rack_domain.register_link(rack.uplink_rx)
+        for host in rack.hosts:
+            rack_domain.register_link(host.nic_tx)
+            rack_domain.register_link(host.nic_rx)
+        rack_domains.append(rack_domain)
+    return rack_domains
+
+
+def register_account(domain: FailureDomain, account: Any) -> None:
+    """Register a storage account's blob/table/queue endpoints.
+
+    The blob service is a fault target itself (its pipeline admits
+    through the service-level injector); table and queue services are
+    expanded to their live partition servers when a fault fires.
+    """
+    domain.register_server(account.blobs)
+    domain.register_server(account.tables)
+    domain.register_server(account.queues)
+
+
+__all__ = [
+    "DOMAIN_KINDS",
+    "FailureDomain",
+    "register_account",
+    "register_datacenter",
+]

@@ -35,7 +35,7 @@ attributable (each decision is charged to exactly one window).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Generator, List, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -197,3 +197,194 @@ class FaultInjector:
                 stats.extra_delay_s += delay
                 yield self.env.timeout(delay)
                 return
+
+
+# -- correlated domain-scoped faults ----------------------------------------
+
+#: Domain faults are total losses; per-request probabilistic kinds make
+#: no sense for a rack that lost power.
+DOMAIN_FAULT_KINDS = ("blackout", "crash_restart")
+
+#: Residual rate (MB/s) for flows crossing a blacked-out link — not
+#: zero, so in-flight transfers stall rather than divide by zero, and
+#: resume at full rate on repair.
+BLACKOUT_FLOOR_MBPS = 1e-6
+
+
+@dataclass(frozen=True)
+class DomainFault:
+    """One scheduled correlated outage of a whole failure domain.
+
+    Exactly one of ``duration_s`` (deterministic repair) or ``mttr_s``
+    (repair time drawn from an exponential with that mean, at fault
+    start) must be given.
+    """
+
+    domain: str
+    start_s: float
+    duration_s: Optional[float] = None
+    kind: str = "blackout"
+    mttr_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DOMAIN_FAULT_KINDS:
+            raise ValueError(
+                f"unknown domain fault kind {self.kind!r}; "
+                f"expected one of {DOMAIN_FAULT_KINDS}"
+            )
+        if (self.duration_s is None) == (self.mttr_s is None):
+            raise ValueError("give exactly one of duration_s or mttr_s")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if self.mttr_s is not None and self.mttr_s <= 0:
+            raise ValueError("mttr_s must be > 0")
+
+
+def _expand_servers(member: Any) -> List[Any]:
+    """A registered member at fault time: a service with ``servers()``
+    expands to its live partition servers; anything else (a partition
+    server, or the blob service, which admits through its own slot) is
+    a direct target."""
+    servers_fn = getattr(member, "servers", None)
+    if callable(servers_fn):
+        return list(servers_fn())
+    return [member]
+
+
+class DomainFaultInjector:
+    """Applies correlated, domain-scoped outages to a failure-domain tree.
+
+    A scheduled :class:`DomainFault` fires at ``start_s`` and, *in one
+    simulation instant*, opens a :class:`FaultWindow` of the realized
+    repair duration on every server registered in the domain's subtree
+    (creating and attaching a per-server :class:`FaultInjector` where
+    none exists) and slashes every registered link's flows to the
+    blackout floor.  Window expiry is the server-side repair; the link
+    repair is explicit, at the same instant.
+
+    Members are expanded when the fault *fires*: partition servers a
+    service creates after that instant join only subsequent faults — a
+    deliberate simplification (new ranges land on healthy hardware).
+
+    Construction and scheduling are inert until a fault actually fires,
+    and a tree with no scheduled faults adds zero events and zero RNG
+    draws — the golden-output discipline for this layer.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        root: Any,
+        rng: np.random.Generator,
+    ) -> None:
+        self.env = env
+        self.root = root
+        self.rng = rng
+        self.faults: List[DomainFault] = []
+        #: Chronological fault/repair event log:
+        #: ``{"t", "event", "domain", "kind", "servers", "links"}``.
+        self.log: List[Dict[str, Any]] = []
+        #: Domain name -> active outage count (a domain can be inside
+        #: overlapping faults on itself and on ancestors).
+        self._down_domains: Dict[str, int] = {}
+        #: Link -> active outage count (shared links stay down until
+        #: every covering fault has repaired).
+        self._down_links: Dict[Any, int] = {}
+        self._networks: List[Any] = []
+
+    # -- wiring ------------------------------------------------------------
+    def attach_network(self, network: Any) -> None:
+        """Install the blackout cap hook on a flow network (idempotent)."""
+        if any(existing is network for existing in self._networks):
+            return
+        network.add_cap_hook(self._cap_hook)
+        self._networks.append(network)
+
+    def _cap_hook(self, flow: Any, _n_total: int) -> Optional[float]:
+        if not self._down_links:
+            return None
+        if any(link in self._down_links for link in flow.links):
+            return BLACKOUT_FLOOR_MBPS
+        return None
+
+    def _poke_networks(self) -> None:
+        for network in self._networks:
+            network.poke()
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(
+        self,
+        domain: str,
+        start_s: float,
+        duration_s: Optional[float] = None,
+        kind: str = "blackout",
+        mttr_s: Optional[float] = None,
+    ) -> DomainFault:
+        """Schedule a correlated outage of ``domain`` (by name)."""
+        fault = DomainFault(domain, start_s, duration_s, kind, mttr_s)
+        self.root.find(domain)  # fail fast on unknown names
+        self.faults.append(fault)
+        self.env.process(self._episode(fault))
+        return fault
+
+    def is_down(self, domain_name: str) -> bool:
+        """Whether the domain — or any ancestor — is inside an outage."""
+        domain = self.root.find(domain_name)
+        if self._down_domains.get(domain.name, 0) > 0:
+            return True
+        return any(
+            self._down_domains.get(ancestor.name, 0) > 0
+            for ancestor in domain.ancestors()
+        )
+
+    # -- the outage process ------------------------------------------------
+    def _episode(self, fault: DomainFault) -> Generator:
+        delay = fault.start_s - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        domain = self.root.find(fault.domain)
+        if fault.duration_s is not None:
+            duration = fault.duration_s
+        else:
+            assert fault.mttr_s is not None  # enforced by DomainFault
+            duration = max(float(self.rng.exponential(fault.mttr_s)), 1e-9)
+        # Atomic take-down: every member enters the fault at this instant.
+        servers: List[Any] = []
+        for member in domain.all_servers():
+            servers.extend(_expand_servers(member))
+        for server in servers:
+            injector = server.fault_injector
+            if injector is None:
+                injector = FaultInjector(self.env, self.rng)
+                injector.attach(server)
+            injector.add_window(self.env.now, duration, fault.kind)
+        links = domain.all_links()
+        for link in links:
+            self._down_links[link] = self._down_links.get(link, 0) + 1
+        if links:
+            self._poke_networks()
+        self._down_domains[domain.name] = (
+            self._down_domains.get(domain.name, 0) + 1
+        )
+        self.log.append({
+            "t": self.env.now, "event": "fault", "domain": domain.name,
+            "kind": fault.kind, "servers": len(servers), "links": len(links),
+        })
+        yield self.env.timeout(duration)
+        # Repair: the server windows expire by themselves at this instant;
+        # links and domain state are released explicitly.
+        for link in links:
+            remaining = self._down_links.get(link, 0) - 1
+            if remaining > 0:
+                self._down_links[link] = remaining
+            else:
+                self._down_links.pop(link, None)
+        if links:
+            self._poke_networks()
+        self._down_domains[domain.name] -= 1
+        if self._down_domains[domain.name] <= 0:
+            del self._down_domains[domain.name]
+        self.log.append({
+            "t": self.env.now, "event": "repair", "domain": domain.name,
+            "kind": fault.kind, "servers": len(servers), "links": len(links),
+        })

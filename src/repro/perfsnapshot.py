@@ -141,6 +141,53 @@ def component_churn(
     return done["n"]
 
 
+def failover_churn(n_clients: int = 20, ops: int = 50) -> int:
+    """The replica-failover hot path: every call burns a full (no-retry)
+    pass against a dark primary and succeeds on the secondary via the
+    cross-replica failover pass — routing, transport classification and
+    the second ``with_retries`` pass, with no storage stack underneath."""
+    from repro.client.service_client import ServiceClient
+    from repro.resilience.backoff import NO_RETRY
+    from repro.simcore import Environment
+    from repro.storage.errors import ConnectionFailureError
+
+    env = Environment()
+
+    class _Replica:
+        def __init__(self, env: Environment, up: bool) -> None:
+            self.env = env
+            self.up = up
+
+        def op(self):
+            yield self.env.timeout(0.001)
+            if not self.up:
+                raise ConnectionFailureError("replica is dark")
+            return 1
+
+    class _Client(ServiceClient):
+        def op(self):
+            result = yield from self._call(
+                "bench.op", lambda: self.service.op()
+            )
+            return result
+
+    primary = _Replica(env, up=False)
+    secondary = _Replica(env, up=True)
+    count = {"ops": 0}
+
+    def worker(client):
+        for _ in range(ops):
+            yield from client.op()
+            count["ops"] += 1
+
+    for _ in range(n_clients):
+        env.process(
+            worker(_Client(primary, retry=NO_RETRY, secondary=secondary))
+        )
+    env.run()
+    return count["ops"]
+
+
 def _best_rate(fn, *args, repeat: int = 5) -> float:
     """Best-of-N operations/second (first call doubles as warm-up)."""
     fn(*args)
@@ -170,6 +217,9 @@ def kernel_snapshot(repeat: int = 5) -> Dict[str, float]:
         ),
         "component_churn_ops_per_s": _best_rate(
             component_churn, 16, 25, 200, repeat=repeat
+        ),
+        "failover_churn_ops_per_s": _best_rate(
+            failover_churn, 20, 50, repeat=repeat
         ),
     }
 

@@ -13,7 +13,10 @@ retry/timeout path pluggable and measurable:
 * :mod:`repro.resilience.hedging`  — hedged idempotent reads;
 * :mod:`repro.resilience.drills`   — the chaos-drill harness that
   replays :mod:`repro.faults` schedules against a policy matrix and
-  renders SLO verdicts.
+  renders SLO verdicts;
+* :mod:`repro.resilience.campaign` — month-horizon availability
+  campaigns replaying correlated failure-domain outages against the
+  geo-replication failover modes.
 
 Internal modules import the submodules directly (never this package) so
 that :mod:`repro.client` and :mod:`repro.resilience.drills` do not form
@@ -30,6 +33,14 @@ from repro.resilience.backoff import (
 )
 from repro.resilience.breaker import CircuitBreaker, CircuitOpenError
 from repro.resilience.budget import RetryBudget
+from repro.resilience.campaign import (
+    CampaignFault,
+    CampaignReport,
+    CampaignSpec,
+    day_campaign_spec,
+    month_campaign_spec,
+    run_campaign,
+)
 from repro.resilience.drills import (
     DrillReport,
     DrillSpec,
@@ -45,6 +56,9 @@ from repro.resilience.hedging import HedgePolicy, hedged_call
 __all__ = [
     "NO_RETRY",
     "BackoffStrategy",
+    "CampaignFault",
+    "CampaignReport",
+    "CampaignSpec",
     "CappedExponentialBackoff",
     "CircuitBreaker",
     "CircuitOpenError",
@@ -57,8 +71,11 @@ __all__ = [
     "PolicySpec",
     "RetryBudget",
     "RetryPolicy",
+    "day_campaign_spec",
     "default_policy_matrix",
     "hedged_call",
+    "month_campaign_spec",
+    "run_campaign",
     "run_drill",
     "run_hedge_drill",
     "storm_drill_spec",

@@ -1,7 +1,7 @@
 """Retry policy and pluggable backoff strategies for the client loop.
 
-:class:`RetryPolicy` (formerly ``repro.client.retry``, which remains as
-a deprecation shim) decides *whether* to retry — bounded attempts, and
+:class:`RetryPolicy` (formerly ``repro.client.retry``, now fully
+migrated here) decides *whether* to retry — bounded attempts, and
 only for transport/server-side failures per
 :func:`repro.storage.errors.is_transport_failure`.  The strategies below
 decide *how long* to wait.

@@ -1,0 +1,518 @@
+"""Long-horizon availability campaigns over correlated failure domains.
+
+A campaign is the month-scale companion to the minute-scale chaos
+drills: the same declarative-schedule discipline, but the faults are
+*correlated domain outages* (rack power loss, zone blackout, WAN
+partition — :class:`repro.faults.DomainFaultInjector` over a
+node → rack → zone → region tree) and the measurement is *user-side*
+availability in the sense of Naldi's cloud-availability surveys: an
+operation counts as failed only when the client's whole call — retries,
+hedges and cross-replica failover included — fails, never because one
+replica did.
+
+Each scenario is replayed once per **failover mode** under the same
+seed and schedule:
+
+* ``none``       — a single-region account; every domain outage is
+  user-visible downtime.
+* ``manual``     — a geo-replicated account whose failover nobody
+  triggers: reads ride the client's replica failover, writes stay
+  pinned to the (dead) primary.
+* ``automatic``  — the account's health monitor promotes the secondary
+  after confirming the outage, and fails back once the primary heals.
+
+Results reuse the drill machinery (:class:`PolicySpec` for the client
+policy, :class:`PolicyResult` + the SLO engine for verdicts), adding a
+per-minute availability series so error budgets and burn rates reflect
+how the paper's Section 6.3 "monitor everything" lesson looks over a
+month of correlated failures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import ascii_table
+from repro.cluster.domains import FailureDomain, register_account
+from repro.faults import DomainFaultInjector
+from repro.monitoring import MetricsRegistry, attach_retry_budget
+from repro.resilience.drills import PolicyResult, PolicySpec
+from repro.resilience.hedging import HedgePolicy
+from repro.service.tracing import RequestTracer
+from repro.simcore import Environment, RandomStreams
+from repro.storage import (
+    GeoReplicatedAccount,
+    ReplicationConfig,
+    StorageAccount,
+)
+from repro.storage.table import make_entity
+
+#: The failover modes a campaign compares, in report order.
+CAMPAIGN_MODES = ("none", "manual", "automatic")
+
+
+@dataclass(frozen=True)
+class CampaignFault:
+    """One correlated outage in a campaign schedule (see
+    :class:`repro.faults.DomainFault`; ``mttr_s`` draws the repair time
+    instead of fixing it)."""
+
+    domain: str
+    start_s: float
+    duration_s: Optional[float] = None
+    kind: str = "blackout"
+    mttr_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One reproducible campaign: correlated-fault schedule, workload,
+    replication policy and SLO targets.
+
+    Duck-types the :class:`~repro.resilience.drills.DrillSpec` fields
+    :class:`PolicyResult` reads (``name``/``duration_s``/``slo_*``), so
+    campaign verdicts run through the identical SLO machinery.
+    """
+
+    name: str
+    faults: Tuple[CampaignFault, ...]
+    duration_s: float = 30 * 86400.0
+    n_clients: int = 4
+    op_interval_s: float = 120.0
+    read_fraction: float = 0.7
+    entity_kb: float = 4.0
+    client_timeout_s: float = 5.0
+    seed: int = 3
+    #: Time the workload is allowed to drain after the horizon.
+    grace_s: float = 600.0
+    #: Geo-replication parameters (modes ``manual``/``automatic``).
+    replication_lag_s: float = 300.0
+    promotion_s: float = 120.0
+    detection_interval_s: float = 60.0
+    confirm_probes: int = 3
+    failback_probes: int = 30
+    #: SLO targets the verdict column checks (user-side).
+    slo_availability: float = 0.999
+    slo_p99_ms: float = 10_000.0
+    slo_amplification: float = 3.0
+
+    @property
+    def ops_per_client(self) -> int:
+        return int(self.duration_s / self.op_interval_s)
+
+    def in_window(self, t: float) -> bool:
+        return any(
+            f.start_s <= t < f.start_s + (f.duration_s or (f.mttr_s or 0.0))
+            for f in self.faults
+        )
+
+
+@dataclass
+class ModeResult:
+    """One failover mode's user-side outcome for one campaign."""
+
+    mode: str
+    result: PolicyResult
+    #: Per-minute availability summary (minutes with at least one op).
+    minutes: int = 0
+    bad_minutes: int = 0
+    zero_minutes: int = 0
+    worst_minute_availability: float = 1.0
+    mean_minute_availability: float = 1.0
+    #: Failover machinery counters.
+    account_failovers: int = 0
+    account_failbacks: int = 0
+    client_failovers: int = 0
+    lost_writes: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        r = self.result
+        return {
+            "availability": r.availability,
+            "ops": r.ops,
+            "ok": r.ok,
+            "failed": r.failed,
+            "retries": r.retries,
+            "p50_ms": r.p50_ms,
+            "p99_ms": r.p99_ms,
+            "amplification": r.amplification,
+            "minutes": self.minutes,
+            "bad_minutes": self.bad_minutes,
+            "zero_minutes": self.zero_minutes,
+            "worst_minute_availability": self.worst_minute_availability,
+            "mean_minute_availability": self.mean_minute_availability,
+            "account_failovers": self.account_failovers,
+            "account_failbacks": self.account_failbacks,
+            "client_failovers": self.client_failovers,
+            "lost_writes": self.lost_writes,
+            "slo_pass": r.slo_pass,
+            "worst_burn_rate": r.worst_burn_rate,
+            "slo": r.slo_dict(),
+        }
+
+
+@dataclass
+class CampaignReport:
+    """All mode results for one campaign, renderable as a verdict table."""
+
+    spec: CampaignSpec
+    results: List[ModeResult]
+
+    def result(self, mode: str) -> ModeResult:
+        for result in self.results:
+            if result.mode == mode:
+                return result
+        raise KeyError(f"no mode named {mode!r} in this campaign")
+
+    @property
+    def passed(self) -> bool:
+        """At least one failover mode met every SLO target."""
+        return any(r.result.slo_pass for r in self.results)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.spec.name,
+            "duration_s": self.spec.duration_s,
+            "seed": self.spec.seed,
+            "slo": {
+                "availability": self.spec.slo_availability,
+                "p99_ms": self.spec.slo_p99_ms,
+                "amplification": self.spec.slo_amplification,
+            },
+            "faults": [
+                {
+                    "domain": f.domain,
+                    "start_s": f.start_s,
+                    "duration_s": f.duration_s,
+                    "kind": f.kind,
+                    "mttr_s": f.mttr_s,
+                }
+                for f in self.spec.faults
+            ],
+            "modes": {r.mode: r.to_dict() for r in self.results},
+        }
+
+    def render(self) -> str:
+        spec = self.spec
+        rows = []
+        for r in self.results:
+            pr = r.result
+            rows.append([
+                r.mode,
+                f"{pr.availability:.5f}",
+                r.bad_minutes,
+                r.zero_minutes,
+                f"{r.worst_minute_availability:.2f}",
+                f"{pr.p99_ms:.0f}",
+                r.account_failovers,
+                r.client_failovers,
+                r.lost_writes,
+                f"{pr.worst_burn_rate:.1f}",
+                "PASS" if pr.slo_pass else "FAIL",
+            ])
+        days = spec.duration_s / 86400.0
+        title = (
+            f"availability campaign '{spec.name}' — {days:.1f} simulated "
+            f"days, {spec.n_clients} clients, {len(spec.faults)} correlated "
+            f"faults, SLO: avail>={spec.slo_availability}, "
+            f"p99<={spec.slo_p99_ms:.0f}ms"
+        )
+        return ascii_table(
+            ["failover", "avail", "bad min", "dark min", "worst min",
+             "p99 ms", "acct f/o", "client f/o", "lost wr", "burn",
+             "verdict"],
+            rows,
+            title=title,
+        )
+
+
+def _build_domains(env: Environment) -> FailureDomain:
+    """The campaign's two-region tree (region A holds the primary and
+    the clients; region B the secondary; ``wan`` models reachability of
+    region B from region A)."""
+    root = FailureDomain("world", "world")
+    region_a = FailureDomain("region-a", "region", parent=root)
+    zone_a = FailureDomain("zone-a", "zone", parent=region_a)
+    FailureDomain("rack-a1", "rack", parent=zone_a)
+    region_b = FailureDomain("region-b", "region", parent=root)
+    zone_b = FailureDomain("zone-b", "zone", parent=region_b)
+    FailureDomain("rack-b1", "rack", parent=zone_b)
+    FailureDomain("wan", "wan", parent=root)
+    return root
+
+
+def _campaign_policy() -> PolicySpec:
+    """The one client policy every mode runs (jittered exponential with
+    a retry budget — the drills' surviving configuration)."""
+    return PolicySpec(
+        "geo-jitter-budget", max_retries=3, backoff="jitter",
+        backoff_base_s=2.0, backoff_factor=3.0, backoff_cap_s=30.0,
+        budget_ratio=0.5, budget_initial=150.0, budget_max=200.0,
+    )
+
+
+def _run_mode(spec: CampaignSpec, mode: str) -> ModeResult:
+    """One failover mode × one campaign: fresh environment, same seed,
+    same correlated-fault schedule, same op mix."""
+    if mode not in CAMPAIGN_MODES:
+        raise ValueError(
+            f"unknown campaign mode {mode!r}; expected one of "
+            f"{CAMPAIGN_MODES}"
+        )
+    env = Environment()
+    streams = RandomStreams(spec.seed)
+    root = _build_domains(env)
+    injector = DomainFaultInjector(
+        env, root, streams.stream("domain-faults")
+    )
+
+    replication = ReplicationConfig(
+        lag_s=spec.replication_lag_s,
+        promotion_s=spec.promotion_s,
+        mode="automatic" if mode == "automatic" else "manual",
+        detection_interval_s=spec.detection_interval_s,
+        confirm_probes=spec.confirm_probes,
+        auto_failback=True,
+        failback_probes=spec.failback_probes,
+    )
+
+    pspec = _campaign_policy()
+    policy, budget, _breaker = pspec.build(env, streams.stream("policy"))
+    registry = MetricsRegistry()
+    if budget is not None:
+        attach_retry_budget(registry, budget)
+    latency = registry.tally("drill.latency")
+
+    # Month-horizon runs issue tens of thousands of ops; per-request
+    # tracing is pure overhead here (availability is measured from
+    # client outcomes), so the campaign accounts run untraced.
+    tracer = RequestTracer(enabled=False)
+    geo: Optional[GeoReplicatedAccount] = None
+    if mode == "none":
+        # Named like the geo primary so both worlds draw the same
+        # service RNG streams — the same seed really is the same world.
+        primary = StorageAccount(
+            env, streams, name="geo-primary", tracer=tracer
+        )
+        accounts = [primary]
+        client = _table_client(
+            primary.tables, spec, policy, budget, hedge=None
+        )
+    else:
+        geo = GeoReplicatedAccount(
+            env, streams, name="geo", replication=replication,
+            tracer=tracer,
+        )
+        primary = geo.primary
+        accounts = [geo.primary, geo.secondary]
+        client = geo.table_client(
+            timeout_s=spec.client_timeout_s, retry=policy, budget=budget,
+            hedge=HedgePolicy(percentile=99.0, default_delay_s=2.0),
+        )
+        register_account(root.find("rack-b1"), geo.secondary)
+        # Reaching region B at all crosses the WAN: a WAN partition
+        # makes the secondary unreachable from the clients' region.
+        register_account(root.find("wan"), geo.secondary)
+    register_account(root.find("rack-a1"), primary)
+
+    for account in accounts:
+        account.tables.create_table("t")
+        account.tables.seed_entity(
+            "t", make_entity("hot", "hot", size_kb=spec.entity_kb)
+        )
+
+    for fault in spec.faults:
+        injector.schedule(
+            fault.domain, fault.start_s, fault.duration_s, fault.kind,
+            fault.mttr_s,
+        )
+    if geo is not None and mode == "automatic":
+        geo.start_monitor(
+            lambda: not injector.is_down("rack-a1"),
+            horizon_s=spec.duration_s,
+        )
+
+    # The op mix is drawn up front from a dedicated stream, so every
+    # mode replays the identical read/write sequence.
+    mix = streams.stream("campaign.mix").random(
+        (spec.n_clients, spec.ops_per_client)
+    ) < spec.read_fraction
+
+    n_minutes = max(1, int(math.ceil(spec.duration_s / 60.0)))
+    ok_by_min = [0] * n_minutes
+    total_by_min = [0] * n_minutes
+
+    def one_op(idx: int, k: int):
+        minute = min(int(env.now // 60.0), n_minutes - 1)
+        if mix[idx][k]:
+            _result, outcome = yield from client.query_measured(
+                "t", "hot", "hot"
+            )
+        else:
+            entity = make_entity(
+                "p", f"c{idx}-k{k}", size_kb=spec.entity_kb
+            )
+            _result, outcome = yield from client.insert_measured(
+                "t", entity
+            )
+        registry.counter("drill.retries").increment(outcome.retries)
+        total_by_min[minute] += 1
+        if outcome.ok:
+            latency.observe(outcome.latency_s)
+            registry.counter("drill.ok").increment()
+            ok_by_min[minute] += 1
+        else:
+            registry.tally("drill.give_up_latency").observe(
+                outcome.latency_s
+            )
+            registry.counter("drill.failed").increment()
+
+    def arrivals(idx: int):
+        # Staggered open-loop arrivals, exactly the drill discipline.
+        yield env.timeout(idx * spec.op_interval_s / spec.n_clients)
+        for k in range(spec.ops_per_client):
+            env.process(one_op(idx, k))
+            yield env.timeout(spec.op_interval_s)
+
+    for idx in range(spec.n_clients):
+        env.process(arrivals(idx))
+    env.run(until=spec.duration_s + spec.grace_s)
+
+    result = PolicyResult(policy=mode, spec=spec, registry=registry)
+    result.ok = int(registry.counter("drill.ok").value)
+    result.failed = int(registry.counter("drill.failed").value)
+    result.ops = result.ok + result.failed
+    result.retries = int(registry.counter("drill.retries").value)
+    result.shed_retries = budget.shed if budget is not None else 0
+    attempts = sum(s.stats.started for s in primary.tables.servers())
+    if geo is not None:
+        attempts += sum(
+            s.stats.started for s in geo.secondary.tables.servers()
+        )
+    result.server_attempts = attempts
+    if latency.count:
+        result.p50_ms = float(latency.percentile(50)) * 1000.0
+        result.p99_ms = float(latency.percentile(99)) * 1000.0
+
+    sampled = [
+        (ok, total)
+        for ok, total in zip(ok_by_min, total_by_min)
+        if total > 0
+    ]
+    availabilities = [ok / total for ok, total in sampled]
+    mode_result = ModeResult(mode=mode, result=result)
+    mode_result.minutes = len(sampled)
+    mode_result.bad_minutes = sum(
+        1 for ok, total in sampled if ok < total
+    )
+    mode_result.zero_minutes = sum(
+        1 for ok, _total in sampled if ok == 0
+    )
+    if availabilities:
+        mode_result.worst_minute_availability = min(availabilities)
+        mode_result.mean_minute_availability = (
+            sum(availabilities) / len(availabilities)
+        )
+    mode_result.client_failovers = getattr(client, "failovers", 0)
+    if geo is not None:
+        mode_result.account_failovers = geo.failovers
+        mode_result.account_failbacks = geo.failbacks
+        mode_result.lost_writes = geo.lost_writes
+    return mode_result
+
+
+def _table_client(
+    service: Any,
+    spec: CampaignSpec,
+    policy: Any,
+    budget: Any,
+    hedge: Optional[HedgePolicy],
+) -> Any:
+    from repro.client import TableClient
+
+    return TableClient(
+        service, timeout_s=spec.client_timeout_s, retry=policy,
+        budget=budget, hedge=hedge,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    modes: Optional[Sequence[str]] = None,
+) -> CampaignReport:
+    """Replay ``spec``'s correlated-fault schedule once per failover
+    mode (same seed, same schedule, same op mix)."""
+    if modes is None:
+        modes = CAMPAIGN_MODES
+    return CampaignReport(spec, [_run_mode(spec, m) for m in modes])
+
+
+# -- standard campaigns (the CLI scenarios) ---------------------------------
+
+def month_campaign_spec(seed: int = 3, scale: float = 1.0) -> CampaignSpec:
+    """The headline campaign: thirty days, four correlated outages.
+
+    A rack power event (crash + restart semantics), a zone blackout, a
+    WAN partition isolating the secondary region, and a full primary
+    region blackout.  ``scale`` compresses simulated time (duration and
+    schedule alike); the op cadence is fixed, so scaled runs issue
+    proportionally fewer operations.
+    """
+    day = 86400.0 * scale
+    hour = 3600.0 * scale
+    return CampaignSpec(
+        name="month",
+        duration_s=30 * day,
+        faults=(
+            CampaignFault("rack-a1", 3 * day, 2 * hour, "crash_restart"),
+            CampaignFault("zone-a", 10 * day, 4 * hour, "blackout"),
+            CampaignFault("wan", 17 * day, 8 * hour, "blackout"),
+            CampaignFault("region-a", 24 * day, 6 * hour, "blackout"),
+        ),
+        seed=seed,
+        slo_availability=0.999,
+    )
+
+
+def day_campaign_spec(seed: int = 3, scale: float = 1.0) -> CampaignSpec:
+    """The CI smoke campaign: one simulated day, three correlated
+    outages (rack crash, zone blackout, WAN partition)."""
+    hour = 3600.0 * scale
+    return CampaignSpec(
+        name="day",
+        duration_s=24 * hour,
+        faults=(
+            CampaignFault("rack-a1", 2 * hour, 0.5 * hour, "crash_restart"),
+            CampaignFault("zone-a", 8 * hour, 1.5 * hour, "blackout"),
+            CampaignFault("wan", 16 * hour, 2 * hour, "blackout"),
+        ),
+        n_clients=4,
+        op_interval_s=60.0,
+        seed=seed,
+        promotion_s=60.0,
+        detection_interval_s=60.0,
+        confirm_probes=2,
+        failback_probes=10,
+        replication_lag_s=120.0,
+        slo_availability=0.99,
+    )
+
+
+CAMPAIGN_SCENARIOS = {
+    "month": month_campaign_spec,
+    "day": day_campaign_spec,
+}
+
+__all__ = [
+    "CAMPAIGN_MODES",
+    "CAMPAIGN_SCENARIOS",
+    "CampaignFault",
+    "CampaignReport",
+    "CampaignSpec",
+    "ModeResult",
+    "day_campaign_spec",
+    "month_campaign_spec",
+    "run_campaign",
+]

@@ -160,7 +160,10 @@ class PolicyResult:
     p99_ms: float = 0.0
     breaker_states: List[str] = field(default_factory=list)
     registry: Optional[MetricsRegistry] = None
-    spec: Optional[DrillSpec] = None
+    #: Duck-typed: a DrillSpec, or anything exposing the same
+    #: ``name``/``duration_s``/``slo_*`` fields (campaigns reuse this
+    #: result type with a CampaignSpec).
+    spec: Optional[Any] = None
 
     @property
     def availability(self) -> float:

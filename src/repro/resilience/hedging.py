@@ -73,12 +73,15 @@ def hedged_call(
     make_operation: Callable[[], Generator],
     policy: HedgePolicy,
     description: str = "read",
+    make_backup: Optional[Callable[[], Generator]] = None,
 ) -> Generator:
     """Run an idempotent read with one optional hedged backup.
 
     Returns the winner's value; raises only if every launched attempt
     failed.  The losing attempt is defused and left to run out as an
-    orphan.
+    orphan.  ``make_backup`` builds the backup attempt when it differs
+    from the primary — replica-aware clients hedge against the *other*
+    replica, racing a slow region against a healthy one.
     """
     policy.calls += 1
     start = env.now
@@ -100,7 +103,8 @@ def hedged_call(
 
     # Primary is past the hedge percentile: launch the backup and race.
     policy.launched += 1
-    racers = [primary, env.process(make_operation())]
+    backup_factory = make_backup if make_backup is not None else make_operation
+    racers = [primary, env.process(backup_factory())]
     last_error: Optional[Exception] = None
     while True:
         winner = next((r for r in racers if r.processed and r.ok), None)

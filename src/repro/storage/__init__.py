@@ -18,9 +18,14 @@ and overload shedding -- the mechanisms from which the paper's Fig. 2
 and Fig. 3 concurrency shapes emerge.
 """
 
-from repro.storage.account import StorageAccount
+from repro.storage.account import (
+    GeoReplicatedAccount,
+    ReplicationConfig,
+    StorageAccount,
+)
 from repro.storage.blob import BlobService, BlobMeta
 from repro.storage.errors import (
+    AccountFailoverError,
     BlobAlreadyExistsError,
     BlobNotFoundError,
     CorruptBlobError,
@@ -36,6 +41,7 @@ from repro.storage.queue import QueueMessage, QueueService
 from repro.storage.table import Entity, TableService
 
 __all__ = [
+    "AccountFailoverError",
     "BlobAlreadyExistsError",
     "BlobMeta",
     "BlobNotFoundError",
@@ -44,12 +50,14 @@ __all__ = [
     "Entity",
     "EntityAlreadyExistsError",
     "EntityNotFoundError",
+    "GeoReplicatedAccount",
     "OpSpec",
     "OperationTimeoutError",
     "PartitionServer",
     "QueueEmptyError",
     "QueueMessage",
     "QueueService",
+    "ReplicationConfig",
     "ServerBusyError",
     "StorageAccount",
     "StorageError",

@@ -72,6 +72,19 @@ class ConnectionFailureError(StorageError):
     retryable = True
 
 
+class AccountFailoverError(StorageError):
+    """The replica cannot accept this write right now.
+
+    Raised client-side by geo-replicated accounts: during a failover's
+    promotion window the account is read-only, and outside it writes are
+    accepted only by the active replica.  Retryable — a write that keeps
+    retrying rides a short promotion window out, exactly as a 2009
+    client riding out a 503 storm did.
+    """
+
+    retryable = True
+
+
 class BlobNotFoundError(StorageError):
     """The requested blob does not exist."""
 

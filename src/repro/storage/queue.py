@@ -152,6 +152,11 @@ class QueueService:
             self._servers[queue] = server
         return server
 
+    def servers(self) -> List[PartitionServer]:
+        """The live partition servers, in deterministic queue-name order
+        (the expansion target for domain-scoped faults)."""
+        return [self._servers[name] for name in sorted(self._servers)]
+
     def _state(self, queue: str) -> _QueueState:
         state = self._queues.get(queue)
         if state is None:

@@ -123,6 +123,26 @@ class TableService:
             self._servers[key] = server
         return server
 
+    def servers(self) -> List[PartitionServer]:
+        """The live partition servers, in deterministic key order (the
+        expansion target for domain-scoped faults)."""
+        return [self._servers[key] for key in sorted(self._servers)]
+
+    def seed_entity(self, table: str, entity: Entity) -> Entity:
+        """Administratively materialize an entity (and its partition
+        server) without paying request latency — the replica-priming
+        analogue of :meth:`BlobService.seed_blob`.  No events, no RNG."""
+        rows = self._entities(table)
+        if entity.key in rows:
+            raise EntityAlreadyExistsError(
+                f"{entity.key} already exists", service=self.name,
+                op="table.insert",
+            )
+        entity.timestamp = self.env.now
+        rows[entity.key] = entity
+        self.server_for(table, entity.partition_key)
+        return entity
+
     def _entities(self, table: str) -> Dict[Tuple[str, str], Entity]:
         rows = self._tables.get(table)
         if rows is None:

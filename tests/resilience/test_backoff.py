@@ -85,3 +85,18 @@ def test_retry_policy_uses_strategy_when_given():
 def test_retry_policy_default_is_seed_linear():
     policy = RetryPolicy(max_retries=3, backoff_s=1.0)
     assert [policy.backoff(a) for a in range(3)] == [1.0, 2.0, 3.0]
+
+
+# -- the retired repro.client.retry shim (removed after a deprecation
+# cycle): the canonical import path is the one and only.
+
+def test_legacy_client_retry_module_is_gone():
+    with pytest.raises(ImportError):
+        import repro.client.retry  # noqa: F401
+
+
+def test_no_retry_policy_behaves():
+    from repro.resilience.backoff import NO_RETRY
+    from repro.storage.errors import ServerBusyError
+
+    assert not NO_RETRY.should_retry(ServerBusyError("busy"), attempt=0)

@@ -1,0 +1,145 @@
+"""Tests for long-horizon availability campaigns over correlated faults."""
+
+import pytest
+
+from repro.resilience.campaign import (
+    CAMPAIGN_MODES,
+    CAMPAIGN_SCENARIOS,
+    CampaignFault,
+    CampaignSpec,
+    _run_mode,
+    day_campaign_spec,
+    month_campaign_spec,
+    run_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def day_report():
+    """One compressed day campaign, all three modes, shared by the
+    assertion tests below (the run is the expensive part)."""
+    return run_campaign(day_campaign_spec(seed=3, scale=0.25))
+
+
+# -- spec plumbing -----------------------------------------------------------
+
+def test_spec_derives_op_count_and_fault_windows():
+    spec = CampaignSpec(
+        name="x",
+        faults=(CampaignFault("rack-a1", 100.0, 50.0),),
+        duration_s=3600.0,
+        op_interval_s=60.0,
+    )
+    assert spec.ops_per_client == 60
+    assert not spec.in_window(99.0)
+    assert spec.in_window(100.0)
+    assert spec.in_window(149.0)
+    assert not spec.in_window(150.0)
+
+
+def test_standard_scenarios_cover_the_planned_outages():
+    month = month_campaign_spec()
+    assert month.duration_s == 30 * 86400.0
+    assert [f.domain for f in month.faults] == [
+        "rack-a1", "zone-a", "wan", "region-a",
+    ]
+    day = CAMPAIGN_SCENARIOS["day"]()
+    assert day.duration_s == 86400.0
+    assert {f.kind for f in day.faults} == {"crash_restart", "blackout"}
+    # Scaling compresses the schedule with the horizon.
+    half = month_campaign_spec(scale=0.5)
+    assert half.duration_s == 15 * 86400.0
+    assert half.faults[0].start_s == month.faults[0].start_s / 2
+
+
+def test_unknown_mode_is_rejected():
+    spec = day_campaign_spec(scale=0.01)
+    with pytest.raises(ValueError):
+        _run_mode(spec, "psychic")
+
+
+# -- the mode gradient (the point of the whole exercise) ---------------------
+
+def test_automatic_failover_beats_no_replication(day_report):
+    none = day_report.result("none")
+    auto = day_report.result("automatic")
+    # Same seed, same correlated-fault schedule, same op mix: the only
+    # difference is the failover machinery -- which must strictly win.
+    assert auto.result.availability > none.result.availability
+    assert auto.bad_minutes < none.bad_minutes
+    assert auto.result.worst_burn_rate < none.result.worst_burn_rate
+    # The single-region account has nothing to fail over to.
+    assert none.account_failovers == 0
+    assert none.client_failovers == 0
+    assert auto.account_failovers >= 1
+    assert auto.account_failbacks >= 1
+
+
+def test_manual_mode_recovers_reads_but_not_writes(day_report):
+    none = day_report.result("none")
+    manual = day_report.result("manual")
+    # Nobody promotes the secondary, but the client's replica failover
+    # still recovers idempotent reads -- availability sits strictly
+    # between no-replication and automatic failover.
+    assert manual.account_failovers == 0
+    assert manual.client_failovers >= 1
+    assert manual.result.availability > none.result.availability
+    auto = day_report.result("automatic")
+    assert manual.result.availability < auto.result.availability
+
+
+def test_day_campaign_verdicts_and_report_shape(day_report):
+    assert [r.mode for r in day_report.results] == list(CAMPAIGN_MODES)
+    # The compressed day is harsh enough that bare single-region hosting
+    # misses a 99% SLO while automatic failover clears it.
+    assert not day_report.result("none").result.slo_pass
+    assert day_report.result("automatic").result.slo_pass
+    assert day_report.passed
+    with pytest.raises(KeyError):
+        day_report.result("psychic")
+
+
+def test_report_to_dict_is_schema_shaped(day_report):
+    doc = day_report.to_dict()
+    assert doc["scenario"] == "day"
+    assert doc["seed"] == 3
+    assert set(doc["slo"]) == {"availability", "p99_ms", "amplification"}
+    assert [f["domain"] for f in doc["faults"]] == [
+        "rack-a1", "zone-a", "wan",
+    ]
+    assert set(doc["modes"]) == set(CAMPAIGN_MODES)
+    for mode in doc["modes"].values():
+        assert mode["ops"] == mode["ok"] + mode["failed"]
+        assert mode["ops"] > 0
+        assert mode["availability"] == pytest.approx(
+            mode["ok"] / mode["ops"]
+        )
+        assert 0 <= mode["zero_minutes"] <= mode["bad_minutes"]
+        assert mode["bad_minutes"] <= mode["minutes"]
+
+
+def test_render_is_a_verdict_table(day_report):
+    text = day_report.render()
+    for column in ("failover", "avail", "dark min", "acct f/o",
+                   "lost wr", "burn", "verdict"):
+        assert column in text
+    for mode in CAMPAIGN_MODES:
+        assert mode in text
+    assert "PASS" in text and "FAIL" in text
+
+
+# -- determinism -------------------------------------------------------------
+
+def test_same_seed_replays_identical_numbers():
+    spec = day_campaign_spec(seed=7, scale=0.1)
+    first = run_campaign(spec, modes=["automatic"])
+    second = run_campaign(spec, modes=["automatic"])
+    assert first.to_dict() == second.to_dict()
+
+
+def test_different_seed_changes_the_world():
+    a = run_campaign(day_campaign_spec(seed=7, scale=0.1),
+                     modes=["automatic"])
+    b = run_campaign(day_campaign_spec(seed=8, scale=0.1),
+                     modes=["automatic"])
+    assert a.to_dict() != b.to_dict()

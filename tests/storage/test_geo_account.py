@@ -1,0 +1,204 @@
+"""Tests for geo-replicated accounts: state machine, lag ledger, monitor."""
+
+import pytest
+
+from repro.simcore import Environment, RandomStreams
+from repro.storage import (
+    AccountFailoverError,
+    GeoReplicatedAccount,
+    ReplicationConfig,
+)
+from repro.storage.account import (
+    GEO_FAILING_OVER,
+    GEO_PRIMARY,
+    GEO_SECONDARY,
+)
+
+
+def _geo(seed=0, **cfg):
+    env = Environment()
+    streams = RandomStreams(seed)
+    geo = GeoReplicatedAccount(
+        env, streams, name="geo",
+        replication=ReplicationConfig(**cfg) if cfg else None,
+    )
+    return env, geo
+
+
+def test_replication_config_validation():
+    with pytest.raises(ValueError):
+        ReplicationConfig(mode="psychic")
+    with pytest.raises(ValueError):
+        ReplicationConfig(lag_s=-1.0)
+    with pytest.raises(ValueError):
+        ReplicationConfig(detection_interval_s=0.0)
+    with pytest.raises(ValueError):
+        ReplicationConfig(confirm_probes=0)
+
+
+def test_replicas_share_one_tracer():
+    _, geo = _geo()
+    assert geo.primary.tracer is geo.secondary.tracer is geo.tracer
+    assert geo.primary.name == "geo-primary"
+    assert geo.secondary.name == "geo-secondary"
+
+
+def test_idle_geo_account_adds_no_events():
+    env, geo = _geo()
+    env.run()
+    assert env.now == 0.0
+    assert geo.state == GEO_PRIMARY
+
+
+def test_failover_state_machine_and_read_only_window():
+    env, geo = _geo(promotion_s=30.0)
+    seen = {}
+
+    def scenario(env):
+        assert geo.read_replica() == "primary"
+        assert geo.write_replica() == "primary"
+        proc = env.process(geo.failover())
+        yield env.timeout(1.0)
+        # Mid-promotion: reads already route to the secondary, writes
+        # are rejected retryably everywhere.
+        seen["mid_state"] = geo.state
+        seen["mid_read"] = geo.read_replica()
+        seen["mid_write"] = geo.write_replica()
+        with pytest.raises(AccountFailoverError):
+            geo.write_guard("table.insert", "primary")
+        with pytest.raises(AccountFailoverError):
+            geo.write_guard("table.insert", "secondary")
+        yield proc
+        seen["end_state"] = geo.state
+        seen["end_write"] = geo.write_replica()
+        # After promotion, only the secondary accepts writes.
+        geo.write_guard("table.insert", "secondary")
+        with pytest.raises(AccountFailoverError):
+            geo.write_guard("table.insert", "primary")
+
+    env.process(scenario(env))
+    env.run()
+    assert seen == {
+        "mid_state": GEO_FAILING_OVER,
+        "mid_read": "secondary",
+        "mid_write": None,
+        "end_state": GEO_SECONDARY,
+        "end_write": "secondary",
+    }
+    assert geo.failovers == 1
+    assert env.now == 30.0  # the promotion window, started at t=0
+
+
+def test_failover_is_noop_unless_primary_active():
+    env, geo = _geo(promotion_s=0.0)
+
+    def scenario(env):
+        yield from geo.failover()
+        assert geo.state == GEO_SECONDARY
+        yield from geo.failover()  # already failed over: no-op
+        assert geo.failovers == 1
+        yield from geo.failback()
+        assert geo.state == GEO_PRIMARY
+        assert geo.failbacks == 1
+
+    env.process(scenario(env))
+    env.run()
+
+
+def test_write_ledger_counts_only_recent_writes():
+    env, geo = _geo(lag_s=5.0)
+
+    def scenario(env):
+        geo.on_commit("table.insert", "primary")
+        yield env.timeout(2.0)
+        geo.on_commit("table.update", "primary")
+        assert geo.writes_at_risk(env.now) == 2
+        yield env.timeout(4.0)  # first write is now past the lag horizon
+        assert geo.writes_at_risk(env.now) == 1
+        # Reads and writes against the non-active replica never ledger.
+        geo.on_commit("table.query", "primary")
+        geo.on_commit("table.insert", "secondary")
+        assert geo.writes_at_risk(env.now) == 1
+
+    env.process(scenario(env))
+    env.run()
+
+
+def test_failover_loses_writes_inside_replication_lag():
+    env, geo = _geo(lag_s=5.0, promotion_s=0.0)
+
+    def scenario(env):
+        geo.on_commit("table.insert", "primary")
+        geo.on_commit("table.insert", "primary")
+        yield env.timeout(10.0)  # both replicate before the failover
+        geo.on_commit("table.insert", "primary")
+        yield from geo.failover()
+
+    env.process(scenario(env))
+    env.run()
+    assert geo.lost_writes == 1
+    # The ledger resets with the promotion.
+    assert geo.writes_at_risk(env.now) == 0
+
+
+def test_monitor_requires_automatic_mode():
+    _, geo = _geo(mode="manual")
+    with pytest.raises(ValueError):
+        geo.start_monitor(lambda: True)
+
+
+def test_monitor_confirms_then_fails_over_and_back():
+    env, geo = _geo(
+        mode="automatic", detection_interval_s=10.0, confirm_probes=3,
+        failback_probes=2, promotion_s=5.0,
+    )
+    down = {"value": False}
+    transitions = []
+
+    def watcher(env):
+        last = geo.state
+        while env.now < 300.0:
+            if geo.state != last:
+                transitions.append((env.now, geo.state))
+                last = geo.state
+            yield env.timeout(1.0)
+
+    def outage(env):
+        yield env.timeout(15.0)
+        down["value"] = True
+        yield env.timeout(40.0)
+        down["value"] = False
+
+    env.process(watcher(env))
+    env.process(outage(env))
+    geo.start_monitor(lambda: not down["value"], horizon_s=300.0)
+    env.run(until=320.0)
+    # Probes fail at t=20,30,40 (3 consecutive) -> failover at 40,
+    # promoted at 45 (the promotion stalls the monitor's cadence); the
+    # outage ends at 55, so probes at 55 and 65 confirm the failback.
+    assert transitions == [
+        (40.0, GEO_FAILING_OVER),
+        (45.0, GEO_SECONDARY),
+        (65.0, GEO_FAILING_OVER),
+        (70.0, GEO_PRIMARY),
+    ]
+    assert geo.failovers == 1
+    assert geo.failbacks == 1
+
+
+def test_monitor_without_auto_failback_stays_on_secondary():
+    env, geo = _geo(
+        mode="automatic", detection_interval_s=10.0, confirm_probes=1,
+        promotion_s=0.0, auto_failback=False,
+    )
+    down = {"value": True}
+
+    def recovery(env):
+        yield env.timeout(25.0)
+        down["value"] = False
+
+    env.process(recovery(env))
+    geo.start_monitor(lambda: not down["value"], horizon_s=200.0)
+    env.run(until=220.0)
+    assert geo.state == GEO_SECONDARY
+    assert geo.failbacks == 0

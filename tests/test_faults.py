@@ -258,3 +258,65 @@ def test_aggregate_stats_sum_window_stats():
     assert injector.stats_for(first).rejections == 5
     assert injector.stats_for(second).rejections == 0
     assert injector.stats.rejections == 5
+
+
+# -- direct intercept-semantics tests (no client in the loop) ---------------
+
+def _pass(injector, server):
+    """Drive one admission pass of ``intercept`` directly; returns the
+    raised fault error, or None for a clean (decision-free) pass."""
+    gen = injector.intercept(server, None)
+    try:
+        next(gen)
+    except StopIteration:
+        return None
+    except Exception as exc:  # noqa: BLE001 - test harness
+        return exc
+    raise AssertionError("intercept yielded a delay unexpectedly")
+
+
+def test_intercept_direct_pass_charges_exactly_one_window():
+    """Two identical overlapping blackouts: every pass raises once and
+    charges exactly one window — always the first in schedule order."""
+    env, svc, injector = _setup()
+    server = svc.server_for("t", "p")
+    first = injector.add_window(0.0, 100.0, "blackout")
+    second = injector.add_window(0.0, 100.0, "blackout")
+    for expected in (1, 2, 3):
+        err = _pass(injector, server)
+        assert isinstance(err, ConnectionFailureError)
+        assert injector.stats_for(first).blackout_failures == expected
+        assert injector.stats_for(second).blackout_failures == 0
+        # The aggregate equals the pass count: one decision per pass.
+        assert injector.stats.blackout_failures == expected
+
+
+def test_intercept_same_start_resolves_by_insertion_order():
+    """Equal start times fall back to insertion order, so the schedule
+    is a total order and replays are deterministic."""
+    env, svc, injector = _setup()
+    server = svc.server_for("t", "p")
+    crash = injector.add_window(0.0, 50.0, "crash_restart")
+    blackout = injector.add_window(0.0, 50.0, "blackout")
+    err = _pass(injector, server)
+    assert isinstance(err, ConnectionFailureError)
+    assert injector.stats_for(crash).crash_failures == 1
+    assert injector.stats_for(blackout).blackout_failures == 0
+
+
+def test_intercept_crash_and_blackout_attributed_separately():
+    """crash_restart and blackout both surface as connection failures
+    but are charged to distinct counters on distinct windows."""
+    env, svc, injector = _setup()
+    server = svc.server_for("t", "p")
+    crash = injector.add_window(0.0, 10.0, "crash_restart")
+    blackout = injector.add_window(20.0, 10.0, "blackout")
+    assert isinstance(_pass(injector, server), ConnectionFailureError)
+    env.run(until=25.0)  # queue is empty: the clock jumps to 25 s
+    assert isinstance(_pass(injector, server), ConnectionFailureError)
+    env.run(until=50.0)  # both windows have expired
+    assert _pass(injector, server) is None
+    assert injector.stats_for(crash).crash_failures == 1
+    assert injector.stats_for(crash).blackout_failures == 0
+    assert injector.stats_for(blackout).blackout_failures == 1
+    assert injector.stats_for(blackout).crash_failures == 0
