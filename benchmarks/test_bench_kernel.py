@@ -9,11 +9,13 @@ profiling side of the loop).
 """
 
 from repro.perfsnapshot import (
+    cohort_churn,
     component_churn,
     failover_churn,
     flow_churn,
     race_churn,
     resource_churn,
+    rng_batch,
     timeout_churn,
 )
 
@@ -57,3 +59,17 @@ def test_bench_failover_churn(benchmark):
     geo-failover client path."""
     done = benchmark(lambda: failover_churn(n_clients=20, ops=50))
     assert done == 1_000
+
+
+def test_bench_cohort_churn(benchmark):
+    """The batched cohort driver: 20k closed-loop clients through the
+    fluid model in one kernel process.  The rate is simulated clients
+    per second; the committed floor is 10^5."""
+    clients = benchmark(lambda: cohort_churn(n_clients=20_000, ops=5))
+    assert clients == 20_000
+
+
+def test_bench_rng_batch(benchmark):
+    """Vectorized stream draws: the cohort driver's RNG hot path."""
+    draws = benchmark(lambda: rng_batch(n_draws=500_000, block=4096))
+    assert draws >= 500_000

@@ -57,10 +57,10 @@ def race_timeout(
         return result
     proc = env.process(operation)
     yield Race(env, proc, timeout_s)
-    if proc.processed:
-        if not proc.ok:
-            raise proc.value
-        return proc.value
+    if proc._processed:
+        if not proc._ok:
+            raise proc._value
+        return proc._value
     # Abandon: silence the eventual completion/failure of the orphan.
     proc.defuse()
     raise ClientTimeoutError(

@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 
 class Histogram:
     """Streaming scalar distribution with bounded-error percentiles.
@@ -85,6 +87,42 @@ class Histogram:
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
             self.observe(value)
+
+    def observe_batch(self, values: Sequence[float]) -> None:
+        """Vectorized :meth:`observe` over a whole array of samples.
+
+        Bucket indices for the batch come from one NumPy log — the same
+        ``int(log(v / min_value) / log(growth)) + 1`` arithmetic as the
+        scalar path, so bucket counts (and hence percentiles) are
+        identical to observing each element in turn.  The running sum
+        uses NumPy's pairwise summation, which can differ from the
+        scalar path's sequential adds in the last few ulps.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        if arr.size == 0:
+            return
+        self._n += int(arr.size)
+        self._sum += float(arr.sum())
+        self._min = min(self._min, float(arr.min()))
+        self._max = max(self._max, float(arr.max()))
+        positive = arr[arr > 0.0]
+        self._zero += int(arr.size - positive.size)
+        if positive.size == 0:
+            return
+        big = positive[positive > self.min_value]
+        counts = self._counts
+        clamped = int(positive.size - big.size)
+        if clamped:
+            counts[0] = counts.get(0, 0) + clamped
+        if big.size:
+            idx = (
+                np.log(big / self.min_value) / self._log_growth
+            ).astype(np.int64) + 1
+            uniq, reps = np.unique(idx, return_counts=True)
+            for index, count in zip(uniq.tolist(), reps.tolist()):
+                counts[index] = counts.get(index, 0) + count
 
     def merge(self, other: "Histogram") -> None:
         """Fold ``other`` into this histogram (shapes must match)."""
@@ -252,6 +290,9 @@ class HistogramTally:
 
     def extend(self, values: Iterable[float]) -> None:
         self.histogram.extend(values)
+
+    def observe_batch(self, values: Sequence[float]) -> None:
+        self.histogram.observe_batch(values)
 
     def merge(self, other: "HistogramTally") -> None:
         self.histogram.merge(other.histogram)

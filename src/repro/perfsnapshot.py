@@ -188,6 +188,42 @@ def failover_churn(n_clients: int = 20, ops: int = 50) -> int:
     return count["ops"]
 
 
+def cohort_churn(n_clients: int = 20_000, ops: int = 5) -> int:
+    """The batched cohort driver at scale: one kernel process simulates
+    ``n_clients`` closed-loop table clients through the fluid model
+    (vectorized RNG draws, batch histogram ingestion, sharded scheduler
+    at this population).  The rate is *simulated clients per second* —
+    the headline number the cohort layer exists for."""
+    from repro.simcore import Distribution
+    from repro.workloads.cohort import CohortSpec, run_cohort
+
+    spec = CohortSpec(
+        service="table",
+        op="insert",
+        n_clients=n_clients,
+        ops_per_client=ops,
+        think_time=Distribution.exponential(0.1),
+    )
+    run_cohort(spec, seed=3, mode="batched")
+    return n_clients
+
+
+def rng_batch(n_draws: int = 500_000, block: int = 4096) -> int:
+    """Vectorized stream draws: the cohort driver's RNG hot path
+    (exponential jitter blocks plus distribution batches)."""
+    from repro.simcore import Distribution, RandomStreams
+
+    streams = RandomStreams(3)
+    rng = streams.batched("bench.rng")
+    think = Distribution.exponential(0.1)
+    drawn = 0
+    while drawn < n_draws:
+        rng.exponential_batch(0.02, block)
+        rng.draw_batch(think, block)
+        drawn += 2 * block
+    return drawn
+
+
 def _best_rate(fn, *args, repeat: int = 5) -> float:
     """Best-of-N operations/second (first call doubles as warm-up)."""
     fn(*args)
@@ -220,6 +256,12 @@ def kernel_snapshot(repeat: int = 5) -> Dict[str, float]:
         ),
         "failover_churn_ops_per_s": _best_rate(
             failover_churn, 20, 50, repeat=repeat
+        ),
+        "cohort_churn_clients_per_s": _best_rate(
+            cohort_churn, 20_000, 5, repeat=repeat
+        ),
+        "rng_batch_draws_per_s": _best_rate(
+            rng_batch, 500_000, 4096, repeat=repeat
         ),
     }
 

@@ -24,7 +24,9 @@ emit one causal span tree per request (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.observability.histogram import Histogram
 from repro.simcore.tracing import TraceRecorder
@@ -125,6 +127,89 @@ class RequestTracer:
         self.retries += trace.retries
         self._fold_client(trace)
         self._append(self.CLIENT_KIND, trace)
+
+    def observe_batch(
+        self,
+        service: str,
+        op: str,
+        latencies: Sequence[float],
+        *,
+        queue_waits: Optional[Sequence[float]] = None,
+        transfers: Optional[Sequence[float]] = None,
+        sizes_mb: Optional[Sequence[float]] = None,
+        errors: int = 0,
+        client: bool = False,
+    ) -> None:
+        """Fold a whole batch of completed requests in one call.
+
+        The cohort (fluid) client path completes many statistically
+        identical requests per kernel event; this ingests them without
+        per-request Python work: the exact counters, the per-``(service,
+        op)`` aggregate sums and the streaming latency histogram all
+        update vectorized.  ``latencies`` holds the *successful*
+        latencies; ``errors`` adds failed requests to the error counters
+        (their latencies are not histogrammed, matching the scalar
+        path).  With ``client=True`` the batch folds into the
+        client-call view instead of the server-side one.
+
+        Individual :class:`RequestTrace` records are *not* appended —
+        batch ingestion trades the bounded raw-record window for
+        aggregate-only accounting, so ``records()`` stays empty under
+        pure cohort traffic while totals, aggregates and percentiles
+        remain exact.
+        """
+        if not self.recorder.enabled:
+            return
+        arr = np.asarray(latencies, dtype=float).reshape(-1)
+        n = int(arr.size)
+        total_n = n + errors
+        if total_n == 0:
+            return
+        key = (service, op)
+        if client:
+            self.client_total += total_n
+            self.client_errors += errors
+            agg = self._client_per_op.get(key)
+            if agg is None:
+                agg = {"count": 0.0, "errors": 0.0, "retries": 0.0}
+                self._client_per_op[key] = agg
+            agg["count"] += total_n
+            agg["errors"] += errors
+            if n:
+                hist = self._client_latency.get(key)
+                if hist is None:
+                    hist = Histogram(f"{service}.{op}.call")
+                    self._client_latency[key] = hist
+                hist.observe_batch(arr)
+            return
+        self.total += total_n
+        self.errors += errors
+        agg = self._per_op.get(key)
+        if agg is None:
+            agg = {
+                "count": 0.0,
+                "errors": 0.0,
+                "latency_s": 0.0,
+                "queue_wait_s": 0.0,
+                "transfer_s": 0.0,
+                "size_mb": 0.0,
+            }
+            self._per_op[key] = agg
+        agg["count"] += total_n
+        agg["errors"] += errors
+        agg["latency_s"] += float(arr.sum())
+        if queue_waits is not None:
+            agg["queue_wait_s"] += float(np.sum(queue_waits))
+        if transfers is not None:
+            agg["transfer_s"] += float(np.sum(transfers))
+        if sizes_mb is not None:
+            agg["size_mb"] += float(np.sum(sizes_mb))
+        if n:
+            hist = self._latency.get(key)
+            if hist is None:
+                hist = Histogram(f"{service}.{op}")
+                self._latency[key] = hist
+            hist.observe_batch(arr)
 
     def _fold(self, trace: RequestTrace) -> None:
         key = (trace.service, trace.op)

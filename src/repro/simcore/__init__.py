@@ -36,7 +36,7 @@ from repro.simcore.resources import (
     Resource,
     Store,
 )
-from repro.simcore.rng import RandomStreams, Distribution
+from repro.simcore.rng import Distribution, RandomStreams, StreamRNG
 from repro.simcore.tracing import (
     Tally,
     TimeSeries,
@@ -61,6 +61,7 @@ __all__ = [
     "Resource",
     "StopSimulation",
     "Store",
+    "StreamRNG",
     "Tally",
     "TimeSeries",
     "Timeout",

@@ -139,13 +139,17 @@ class Event:
 
         On an already-processed event the callback runs immediately (to
         preserve semantics); on a cancelled event it is silently
-        dropped, since a cancelled event never fires.
+        dropped, since a cancelled event never fires.  The ``_processed``
+        check comes first so the scheduler can leave the callback slots
+        in place after processing (clearing them per event costs two
+        stores on the kernel's hottest loop).
         """
-        if self._cb1 is None:
-            if self._processed:
-                callback(self)
-            elif not self._cancelled:
-                self._cb1 = callback
+        if self._processed:
+            callback(self)
+        elif self._cancelled:
+            pass
+        elif self._cb1 is None:
+            self._cb1 = callback
         elif self._cbs is None:
             self._cbs = [callback]
         else:
@@ -168,13 +172,16 @@ class Event:
                 pass
 
     def _process(self) -> None:
-        """Invoke callbacks; called by the environment's event loop."""
+        """Invoke callbacks; called by the environment's event loop.
+
+        The slots are left populated: every reader checks ``_processed``
+        before touching them, and each event is popped exactly once, so
+        clearing would only add stores to the hot loop.
+        """
         self._processed = True
         cb1 = self._cb1
         if cb1 is not None:
             more = self._cbs
-            self._cb1 = None
-            self._cbs = None
             cb1(self)
             if more:
                 for callback in more:
@@ -237,28 +244,49 @@ class Race(Event):
     __slots__ = ("contender", "deadline")
 
     def __init__(self, env: "Environment", contender: Event, delay: float) -> None:
-        super().__init__(env)
         if contender.env is not env:
             raise ValueError("contender belongs to a different environment")
+        # Inlined Event.__init__: one Race per client operation.
+        self.env = env
+        self._cb1 = None
+        self._cbs = None
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._processed = False
+        self._cancelled = False
         self.contender = contender
         deadline = Timeout(env, delay)
         self.deadline = deadline
         deadline._cb1 = self._expire  # fresh private event: set directly
         if contender._processed:
             self._settle(contender)
-        else:
-            contender.add_callback(self._settle)
+        elif not contender._cancelled:
+            # Inlined add_callback on the pending-contender path.
+            settle = self._settle
+            if contender._cb1 is None:
+                contender._cb1 = settle
+            elif contender._cbs is None:
+                contender._cbs = [settle]
+            else:
+                contender._cbs.append(settle)
 
     def _settle(self, contender: Event) -> None:
         if self._value is not PENDING:
             return  # deadline already won; the contender is an orphan
         deadline = self.deadline
         if not deadline._processed:
-            deadline.cancel()
+            # Inlined deadline.cancel(): the deadline is private to the
+            # race, so no waiter slots need clearing.
+            deadline._cancelled = True
         if contender._ok:
-            self.succeed(contender._value)
+            # Inlined self.succeed(contender._value): the common win.
+            self._value = contender._value
+            env = self.env
+            env._seq = seq = env._seq + 1
+            _heappush(env._queue, (env._now, seq, self))
         else:
-            contender.defuse()
+            contender._defused = True
             self.fail(contender._value)
 
     def _expire(self, _deadline: Event) -> None:

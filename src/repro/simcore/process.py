@@ -7,17 +7,18 @@ process is itself an event that fires with the generator's return value,
 so processes can wait on one another.
 
 ``_resume`` is the single hottest Python frame in the simulator (one
-call per event a process waits on), so it caches the generator's
-``send``/``throw`` and the environment's ``_enqueue`` as locals and
-attaches its own pre-bound callback (``_resume_cb``) directly into the
-target event's callback slots instead of going through
-``add_callback`` — binding a method costs an allocation, and doing it
-once per process instead of once per yield measurably moves the kernel
-benchmarks.
+call per event a process waits on), so the generator's ``send`` is
+bound once at process creation (binding a method costs an allocation;
+``throw`` is bound lazily since failures are rare), the non-event and
+foreign-environment guards run inside one optimistic ``try`` block on
+the wait path, and the process attaches its own pre-bound callback
+(``_resume_cb``) directly into the target event's callback slots
+instead of going through ``add_callback``.
 """
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.simcore.events import PENDING, Event, Interrupt
@@ -62,7 +63,7 @@ class Process(Event):
     of ``env.run()``).
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_resume_cb", "name")
+    __slots__ = ("_generator", "_send", "_waiting_on", "_resume_cb", "name")
 
     def __init__(
         self,
@@ -70,20 +71,41 @@ class Process(Event):
         generator: Generator,
         name: Optional[str] = None,
     ) -> None:
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
-            raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        try:
+            send = generator.send
+        except AttributeError:
+            raise TypeError(f"{generator!r} is not a generator") from None
+        # Inlined Event.__init__ plus the start-event construction and
+        # enqueue: the client benches create one process per operation,
+        # making this the second-hottest constructor after Timeout.
+        self.env = env
+        self._cb1 = None
+        self._cbs = None
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._processed = False
+        self._cancelled = False
         self._generator = generator
+        # Bind ``send`` exactly once; every resume re-uses the bound
+        # method instead of re-binding it (one allocation per yield).
+        self._send = send
         self._waiting_on: Optional[Event] = None
         # Bind the resume method exactly once; every wait re-uses it.
         self._resume_cb = resume = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off at the current time via an initialisation event.
-        start = Event(env)
-        start._ok = True
-        start._value = None
+        start = Event.__new__(Event)
+        start.env = env
         start._cb1 = resume
-        env._enqueue(0.0, start)
+        start._cbs = None
+        start._value = None
+        start._ok = True
+        start._defused = False
+        start._processed = False
+        start._cancelled = False
+        env._seq = seq = env._seq + 1
+        _heappush(env._queue, (env._now, seq, start))
 
     @property
     def is_alive(self) -> bool:
@@ -104,10 +126,7 @@ class Process(Event):
         env = self.env
         prev, env._active_process = env._active_process, self
         self._waiting_on = None
-        generator = self._generator
-        send = generator.send
-        throw = generator.throw
-        enqueue = env._enqueue
+        send = self._send
         resume_cb = self._resume_cb
         try:
             while True:
@@ -116,59 +135,63 @@ class Process(Event):
                         target = send(event._value)
                     else:
                         event._defused = True
-                        target = throw(event._value)
+                        target = self._generator.throw(event._value)
                 except StopIteration as stop:
                     self._ok = True
                     self._value = stop.value
-                    enqueue(0.0, self)
+                    env._seq = seq = env._seq + 1
+                    _heappush(env._queue, (env._now, seq, self))
                     return
                 except BaseException as exc:
                     self._ok = False
                     self._value = exc
-                    enqueue(0.0, self)
+                    env._seq = seq = env._seq + 1
+                    _heappush(env._queue, (env._now, seq, self))
                     return
 
-                if not isinstance(target, Event):
+                # Optimistic wait path: anything without Event's slots
+                # drops to the AttributeError arm below.
+                try:
+                    if target.env is not env:
+                        exc = RuntimeError(
+                            f"process {self.name!r} yielded an event from "
+                            "another environment"
+                        )
+                        self._ok = False
+                        self._value = exc
+                        env._enqueue(0.0, self)
+                        return
+                    if not target._processed:
+                        if target._cancelled:
+                            # A cancelled event never fires; waiting on
+                            # one would hang the process silently.
+                            exc = RuntimeError(
+                                f"process {self.name!r} yielded a "
+                                "cancelled event"
+                            )
+                            self._ok = False
+                            self._value = exc
+                            env._enqueue(0.0, self)
+                            return
+                        self._waiting_on = target
+                        # Inlined add_callback on the wait path.
+                        if target._cb1 is None:
+                            target._cb1 = resume_cb
+                        elif target._cbs is None:
+                            target._cbs = [resume_cb]
+                        else:
+                            target._cbs.append(resume_cb)
+                        return
+                except AttributeError:
                     exc = RuntimeError(
                         f"process {self.name!r} yielded non-event {target!r}"
                     )
                     self._ok = False
                     self._value = exc
-                    enqueue(0.0, self)
+                    env._enqueue(0.0, self)
                     return
-                if target.env is not env:
-                    exc = RuntimeError(
-                        f"process {self.name!r} yielded an event from "
-                        "another environment"
-                    )
-                    self._ok = False
-                    self._value = exc
-                    enqueue(0.0, self)
-                    return
-
-                if target._processed:
-                    # Already processed — resume immediately with its value.
-                    event = target
-                    continue
-                if target._cancelled:
-                    # A cancelled event never fires; waiting on one would
-                    # hang the process silently.
-                    exc = RuntimeError(
-                        f"process {self.name!r} yielded a cancelled event"
-                    )
-                    self._ok = False
-                    self._value = exc
-                    enqueue(0.0, self)
-                    return
-                self._waiting_on = target
-                # Inlined add_callback on the wait path.
-                if target._cb1 is None:
-                    target._cb1 = resume_cb
-                elif target._cbs is None:
-                    target._cbs = [resume_cb]
-                else:
-                    target._cbs.append(resume_cb)
-                return
+                # Already processed — resume immediately with its value.
+                event = target
         finally:
             env._active_process = prev
 

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
 
-from repro.simcore.events import Event
+from repro.simcore.events import PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simcore.engine import Environment
@@ -28,7 +29,16 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_key")
 
     def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
-        super().__init__(resource.env)
+        # Inlined Event.__init__: one Request per resource operation on
+        # the kernel's resource-churn hot path.
+        self.env = resource.env
+        self._cb1 = None
+        self._cbs = None
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._processed = False
+        self._cancelled = False
         self.resource = resource
         self.priority = priority
         self._key = (priority, next(resource._ticket))
@@ -36,17 +46,18 @@ class Request(Event):
 
     def cancel(self) -> None:
         """Withdraw an ungranted request from the wait queue."""
-        if not self.triggered:
+        if self._value is PENDING:
             self.resource._cancel(self)
 
     def __enter__(self) -> "Request":
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
-        if self.triggered and self.ok:
+        # Slot reads instead of the triggered/ok property frames.
+        if self._value is not PENDING and self._ok:
             self.resource.release(self)
-        else:
-            self.cancel()
+        elif self._value is PENDING:
+            self.resource._cancel(self)
 
 
 class Resource:
@@ -100,10 +111,19 @@ class Resource:
             pass
 
     def _grant_waiters(self) -> None:
-        while self.queue and len(self.users) < self.capacity:
+        queue = self.queue
+        users = self.users
+        capacity = self.capacity
+        env = self.env
+        heap = env._queue
+        while queue and len(users) < capacity:
             request = self._pop_next()
-            self.users.append(request)
-            request.succeed()
+            users.append(request)
+            # Inlined request.succeed(None): queued requests are always
+            # untriggered, so the guard in succeed() cannot fire.
+            request._value = None
+            env._seq = seq = env._seq + 1
+            _heappush(heap, (env._now, seq, request))
 
     def _pop_next(self) -> Request:
         return self.queue.pop(0)

@@ -1,0 +1,757 @@
+"""Cohort aggregation: 10^5-10^6 closed-loop clients per trial.
+
+The paper measures at most 192 concurrent clients per service; campaign
+questions (ROADMAP north star, DiPerF-style fan-outs) need populations
+three to four orders of magnitude larger.  One kernel process per client
+cannot get there — at 10^5 clients the per-process resume frames alone
+dwarf the useful work.  This module aggregates *statistically identical*
+closed-loop clients into a single kernel process:
+
+* **exact mode** (small N): one real client per cohort member through
+  the existing :class:`~repro.client.service_client.ServiceClient`
+  request path, spawned in index order on the shared harness — bitwise
+  identical to a hand-written :func:`~repro.workloads.harness.run_clients`
+  driver, so it anchors the validation.
+* **batched (fluid) mode** (large N): one driver process holds every
+  member's next-wake time and remaining-op count in NumPy arrays, wakes
+  once per *batch window*, draws the whole window's latencies and think
+  times vectorized (:class:`~repro.simcore.rng.StreamRNG`), folds
+  completions into the shared
+  :class:`~repro.service.tracing.RequestTracer` via ``observe_batch``,
+  and schedules a single kernel event for the next window.  Simulated
+  cost per request is O(1/batch) kernel events plus vectorized NumPy.
+
+The fluid latency model reuses the *same calibration constants* as the
+real request path (base-latency profile, partition front-end curve
+``c * active**gamma``, CPU pool, exclusive latches, blob front-end
+bandwidth curves) closed through the interactive response-time law:
+``X = N / (R + Z)``, ``A = X * R`` iterated to a fixed point.  That
+keeps batched summaries statistically matched — same saturation knees,
+same latency floors — to exact simulation at small N (pinned by
+tests/workloads/test_cohort.py), without paying per-request kernel
+events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro import calibration as cal
+from repro.service.tracing import RequestTracer
+from repro.simcore import Distribution, Environment, RandomStreams
+from repro.workloads.harness import (
+    ClientRun,
+    Platform,
+    build_platform,
+    measured_loop,
+    run_clients,
+)
+
+#: Largest cohort ``mode="auto"`` simulates exactly; beyond this it
+#: switches to the batched fluid driver.  32 matches the ISSUE's
+#: exact-equivalence envelope and keeps auto-mode trials fast.
+EXACT_MAX_CLIENTS = 32
+
+#: (service, op) pairs the cohort layer understands.
+SUPPORTED_OPS = {
+    # keep in sync with _tracer_key / _FluidOpModel.from_spec
+    ("table", "insert"),
+    ("table", "query"),
+    ("table", "update"),
+    ("table", "delete"),
+    ("queue", "add"),
+    ("queue", "peek"),
+    ("queue", "receive"),
+    ("blob", "upload"),
+    ("blob", "download"),
+}
+
+
+def _tracer_key(spec: "CohortSpec", account_name: str = "account"):
+    """The ``(service, op)`` histogram key the client stack emits.
+
+    :class:`~repro.client.service_client.ServiceClient` records calls
+    under ``(service.name, kind)`` — e.g. ``("account.tables",
+    "table.insert")`` — so both cohort drivers read and write the same
+    key and their summaries line up column for column.
+    """
+    return (
+        f"{account_name}.{spec.service}s",
+        f"{spec.service}.{spec.op}",
+    )
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """One population of statistically identical closed-loop clients.
+
+    Each member repeats: issue one ``(service, op)`` request, wait for
+    it, think for a :class:`~repro.simcore.Distribution` draw, repeat —
+    ``ops_per_client`` times, aborting (like the paper's benchmark
+    programs) at the first failure.  ``ramp_s`` spreads member start
+    times uniformly, DiPerF-style, so a million clients do not arrive
+    on one instant.  ``size_kb`` is the entity/message payload for
+    table/queue ops; ``size_mb`` the blob transfer size.
+    ``batch_window_s`` is the fluid driver's aggregation quantum: wakes
+    within one window share one kernel event.
+    """
+
+    service: str
+    op: str
+    n_clients: int
+    ops_per_client: int = 10
+    think_time: Optional[Distribution] = None
+    size_kb: float = 1.0
+    size_mb: float = 1.0
+    ramp_s: float = 0.0
+    timeout_s: Optional[float] = 30.0
+    batch_window_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if (self.service, self.op) not in SUPPORTED_OPS:
+            raise ValueError(
+                f"unsupported cohort op {(self.service, self.op)!r}; "
+                f"supported: {sorted(SUPPORTED_OPS)}"
+            )
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if self.ops_per_client < 1:
+            raise ValueError("ops_per_client must be >= 1")
+        if self.ramp_s < 0 or self.batch_window_s <= 0:
+            raise ValueError("ramp_s must be >= 0, batch_window_s > 0")
+
+    @property
+    def think_mean_s(self) -> float:
+        return self.think_time.mean if self.think_time is not None else 0.0
+
+
+@dataclass
+class CohortResult:
+    """Aggregate outcome of one cohort trial (fig1/fig2/fig3-shaped)."""
+
+    spec: CohortSpec
+    mode: str
+    ops_completed: int
+    errors: int
+    makespan_s: float
+    #: Mean / p50 / p99 successful-request latency (seconds), from the
+    #: tracer's streaming histogram.
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    #: Clients that aborted before finishing all their ops.
+    failed_clients: int
+    #: Per-client rows (exact mode only; the fluid driver keeps no
+    #: per-member state beyond the arrays).
+    outcomes: List[ClientRun] = field(default_factory=list)
+
+    @property
+    def aggregate_ops_per_s(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.ops_completed / self.makespan_s
+
+    @property
+    def mean_client_ops_per_s(self) -> float:
+        return self.aggregate_ops_per_s / self.spec.n_clients
+
+    def summary(self) -> Dict[str, float]:
+        """The figure-shaped scalar summary both modes share."""
+        return {
+            "n_clients": float(self.spec.n_clients),
+            "ops_completed": float(self.ops_completed),
+            "errors": float(self.errors),
+            "failed_clients": float(self.failed_clients),
+            "makespan_s": self.makespan_s,
+            "aggregate_ops_per_s": self.aggregate_ops_per_s,
+            "mean_client_ops_per_s": self.mean_client_ops_per_s,
+            "latency_mean_s": self.latency_mean_s,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p99_s": self.latency_p99_s,
+        }
+
+
+# -- fluid latency model ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _FluidOpModel:
+    """Calibration-derived cost structure of one ``(service, op)``.
+
+    Mirrors the stages of the real request path: base-latency profile,
+    front-end connection curve, CPU-pool demand, exclusive latch, bulk
+    transfer.  All constants come from :mod:`repro.calibration` — the
+    same numbers the exact path reads — so the fluid model and the
+    event-level simulation share one source of truth.
+    """
+
+    base_s: float
+    fixed_frac: float
+    jitter_frac: float
+    frontend_c_s: float = 0.0
+    frontend_gamma: float = 0.5
+    cpu_s: float = 0.0
+    cores: int = 1
+    exclusive_s: float = 0.0
+    payload_mb: float = 0.0
+    overload_knee_mb: float = math.inf
+    overload_slope_per_mb: float = 0.0
+    transfer_mb: float = 0.0
+    transfer_a_mbps: float = 0.0
+    transfer_gamma: float = 0.0
+
+    @classmethod
+    def from_spec(cls, spec: CohortSpec) -> "_FluidOpModel":
+        service, op = spec.service, spec.op
+        if service == "table":
+            kb = spec.size_kb
+            return cls(
+                base_s=cal.TABLE_BASE_LATENCY_S[op],
+                fixed_frac=0.85,
+                jitter_frac=0.15,
+                frontend_c_s=cal.TABLE_FRONTEND_C_S,
+                frontend_gamma=cal.TABLE_FRONTEND_GAMMA,
+                cpu_s=cal.TABLE_CPU_S[op] + cal.TABLE_CPU_PER_KB_S * kb,
+                cores=cal.TABLE_SERVER_CORES,
+                exclusive_s=cal.TABLE_EXCLUSIVE_S[op],
+                payload_mb=kb / 1024.0 if op in ("insert", "update") else 0.0,
+                overload_knee_mb=cal.TABLE_OVERLOAD_KNEE_MB,
+                overload_slope_per_mb=cal.TABLE_OVERLOAD_SLOPE_PER_MB,
+            )
+        if service == "queue":
+            kb = spec.size_kb
+            return cls(
+                base_s=cal.QUEUE_BASE_LATENCY_S[op],
+                fixed_frac=0.85,
+                jitter_frac=0.15,
+                frontend_c_s=cal.QUEUE_FRONTEND_C_S[op],
+                frontend_gamma=cal.QUEUE_FRONTEND_GAMMA,
+                cpu_s=cal.QUEUE_CPU_S[op] + cal.QUEUE_CPU_PER_KB_S * kb,
+                cores=cal.TABLE_SERVER_CORES,
+                exclusive_s=cal.QUEUE_EXCLUSIVE_S[op],
+            )
+        # blob: latency floor plus a front-end-curved bulk transfer.
+        if op == "download":
+            a, gamma = (
+                cal.BLOB_DOWNLOAD_FRONTEND_A_MBPS,
+                cal.BLOB_DOWNLOAD_FRONTEND_GAMMA,
+            )
+        else:
+            a, gamma = (
+                cal.BLOB_UPLOAD_FRONTEND_A_MBPS,
+                cal.BLOB_UPLOAD_FRONTEND_GAMMA,
+            )
+        return cls(
+            base_s=cal.BLOB_REQUEST_LATENCY_S,
+            fixed_frac=0.8,
+            jitter_frac=0.2,
+            transfer_mb=spec.size_mb,
+            transfer_a_mbps=a,
+            transfer_gamma=gamma,
+        )
+
+
+@dataclass(frozen=True)
+class _FluidState:
+    """Fixed-point solution at one population size."""
+
+    response_s: float
+    active: float
+    frontend_mean_s: float
+    cpu_wait_s: float
+    latch_wait_s: float
+    transfer_s: float
+    shed_probability: float
+
+
+def _solve_fixed_point(
+    model: _FluidOpModel, n: float, think_s: float
+) -> _FluidState:
+    """Close the loop: response time <-> concurrency for ``n`` members.
+
+    The interactive response-time law gives throughput
+    ``X = n / (R + Z)`` and effective concurrency ``A = X * R``; the
+    stage costs (front-end curve, M/M/c CPU wait, M/M/1 latch wait,
+    bandwidth-shared transfer) give ``R`` back from ``A``.  Damped
+    iteration converges in a few dozen rounds for every calibrated op.
+    """
+    base_mean = model.base_s  # fixed + Exp(jitter) has mean == base_s
+    response = base_mean + model.cpu_s + model.exclusive_s + 1e-9
+    active = min(float(n), 1.0)
+    frontend = cpu_wait = latch_wait = transfer = 0.0
+    for _ in range(200):
+        throughput = n / (response + think_s)
+        active_new = min(throughput * response, float(n))
+        active = 0.5 * active + 0.5 * active_new
+
+        frontend = 0.0
+        if model.frontend_c_s > 0 and active > 1.0:
+            frontend = model.frontend_c_s * active**model.frontend_gamma
+
+        cpu_wait = 0.0
+        if model.cpu_s > 0:
+            rho = min(
+                throughput * model.cpu_s / model.cores, 0.999
+            )
+            # M/M/c wait, collapsed to the heavy-traffic form the
+            # partition server's exponential service times justify.
+            cpu_wait = (model.cpu_s / model.cores) * (
+                rho ** math.sqrt(2.0 * (model.cores + 1))
+            ) / (1.0 - rho)
+
+        latch_wait = 0.0
+        if model.exclusive_s > 0:
+            rho_l = min(throughput * model.exclusive_s, 0.999)
+            latch_wait = model.exclusive_s * rho_l / (1.0 - rho_l)
+
+        transfer = 0.0
+        if model.transfer_mb > 0:
+            share = model.transfer_a_mbps * max(active, 1.0) ** (
+                -model.transfer_gamma
+            )
+            transfer = model.transfer_mb / share
+
+        response_new = (
+            base_mean
+            + frontend
+            + cpu_wait
+            + model.cpu_s
+            + latch_wait
+            + model.exclusive_s
+            + transfer
+        )
+        if abs(response_new - response) < 1e-9 * max(response, 1e-9):
+            response = response_new
+            break
+        response = 0.5 * response + 0.5 * response_new
+
+    shed = 0.0
+    if model.payload_mb > 0 and model.overload_slope_per_mb > 0:
+        excess = active * model.payload_mb - model.overload_knee_mb
+        if excess > 0:
+            shed = min(model.overload_slope_per_mb * excess, 0.5)
+    return _FluidState(
+        response_s=response,
+        active=active,
+        frontend_mean_s=frontend,
+        cpu_wait_s=cpu_wait,
+        latch_wait_s=latch_wait,
+        transfer_s=transfer,
+        shed_probability=shed,
+    )
+
+
+# -- batched (fluid) driver -------------------------------------------------
+
+
+def _run_cohort_batched(
+    spec: CohortSpec,
+    seed: int,
+    env: Optional[Environment] = None,
+    tracer: Optional[RequestTracer] = None,
+) -> CohortResult:
+    """One kernel process drives the whole cohort via NumPy arrays."""
+    if env is None:
+        # Large pending sets are exactly what the sharded scheduler is
+        # for; a private environment also keeps cohort events out of
+        # any co-resident experiment's schedule.
+        env = Environment(
+            scheduler="sharded" if spec.n_clients >= 10_000 else "heap"
+        )
+    if tracer is None:
+        tracer = RequestTracer()
+    model = _FluidOpModel.from_spec(spec)
+    streams = RandomStreams(seed)
+    lat_rng = streams.batched("cohort.latency")
+    think_rng = streams.batched("cohort.think")
+    arrival_rng = streams.batched("cohort.arrival")
+
+    n = spec.n_clients
+    start = env.now
+    next_wake = np.full(n, start, dtype=float)
+    if spec.ramp_s > 0:
+        next_wake += arrival_rng.uniform_batch(0.0, spec.ramp_s, n)
+    ops_left = np.full(n, spec.ops_per_client, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    think = spec.think_time
+
+    totals = {
+        "ops": 0,
+        "errors": 0,
+        "failed": 0,
+        "finish": start,
+        "batches": 0,
+    }
+    key = _tracer_key(spec)
+
+    def driver(env: Environment) -> Generator:
+        state = _solve_fixed_point(model, float(n), spec.think_mean_s)
+        solved_for = n
+        while True:
+            live_idx = np.flatnonzero(alive)
+            if live_idx.size == 0:
+                break
+            wakes = next_wake[live_idx]
+            t_next = float(wakes.min())
+            if t_next > env.now:
+                yield env.timeout(t_next - env.now)
+            window_end = env.now + spec.batch_window_s
+            due = live_idx[wakes <= window_end]
+            k = int(due.size)
+            if k == 0:  # numeric corner: re-loop and resync the clock
+                continue
+            totals["batches"] += 1
+            remaining = int(alive.sum())
+            if solved_for == 0 or abs(remaining - solved_for) > max(
+                1, solved_for // 20
+            ):
+                state = _solve_fixed_point(
+                    model, float(remaining), spec.think_mean_s
+                )
+                solved_for = remaining
+
+            # Vectorized per-request latency draw, stage by stage —
+            # the same shape as the event-level path: deterministic
+            # floor + exponential jitter + exponential stage times.
+            lat = model.base_s * model.fixed_frac + lat_rng.exponential_batch(
+                model.base_s * model.jitter_frac, k
+            )
+            if state.frontend_mean_s > 0:
+                lat += lat_rng.exponential_batch(state.frontend_mean_s, k)
+            if model.cpu_s > 0:
+                lat += lat_rng.exponential_batch(model.cpu_s, k)
+            if state.cpu_wait_s > 1e-12:
+                lat += lat_rng.exponential_batch(state.cpu_wait_s, k)
+            if model.exclusive_s > 0:
+                lat += lat_rng.exponential_batch(model.exclusive_s, k)
+            if state.latch_wait_s > 1e-12:
+                lat += lat_rng.exponential_batch(state.latch_wait_s, k)
+            if state.transfer_s > 0:
+                lat += state.transfer_s
+
+            # Failures: overload shedding (server timeout) and the
+            # client-side operation timeout both abort the member,
+            # exactly as measured_loop aborts on first exception.
+            failed = np.zeros(k, dtype=bool)
+            if state.shed_probability > 0:
+                failed |= (
+                    lat_rng.uniform_batch(0.0, 1.0, k)
+                    < state.shed_probability
+                )
+            if spec.timeout_s is not None:
+                failed |= lat > spec.timeout_s
+                lat = np.minimum(lat, spec.timeout_s)
+
+            ok = ~failed
+            n_ok = int(ok.sum())
+            n_bad = k - n_ok
+            tracer.observe_batch(
+                key[0], key[1], lat[ok], errors=n_bad, client=True
+            )
+            totals["ops"] += n_ok
+            totals["errors"] += n_bad
+            totals["failed"] += n_bad
+
+            done_at = next_wake[due] + lat
+            totals["finish"] = max(totals["finish"], float(done_at.max()))
+            ops_left[due] -= 1
+            exhausted = ops_left[due] <= 0
+            dead = failed | exhausted
+            alive[due[dead]] = False
+            cont = due[~dead]
+            if cont.size:
+                wake_next = done_at[~dead]
+                if think is not None:
+                    wake_next = wake_next + think_rng.draw_batch(
+                        think, int(cont.size)
+                    )
+                next_wake[cont] = wake_next
+        if totals["finish"] > env.now:
+            yield env.timeout(totals["finish"] - env.now)
+
+    env.process(driver(env))
+    env.run()
+
+    hist = tracer.client_latency_histograms().get(key)
+    if hist is not None and hist.count:
+        mean, p50, p99 = (
+            hist.mean,
+            hist.percentile(50),
+            hist.percentile(99),
+        )
+    else:
+        mean = p50 = p99 = 0.0
+    return CohortResult(
+        spec=spec,
+        mode="batched",
+        ops_completed=totals["ops"],
+        errors=totals["errors"],
+        makespan_s=env.now - start,
+        latency_mean_s=mean,
+        latency_p50_s=p50,
+        latency_p99_s=p99,
+        failed_clients=totals["failed"],
+    )
+
+
+# -- exact driver -----------------------------------------------------------
+
+
+def _make_exact_op(spec: CohortSpec, platform: Platform, idx: int):
+    """Build the per-member op closure over the real client stack."""
+    from repro.client import BlobClient, QueueClient, TableClient
+    from repro.resilience.backoff import NO_RETRY
+    from repro.storage.table import make_entity
+
+    account = platform.account
+    if spec.service == "table":
+        table_client = TableClient(
+            account.tables,
+            timeout_s=spec.timeout_s or cal.TABLE_CLIENT_TIMEOUT_S,
+            retry=NO_RETRY,
+        )
+
+        def table_op(op_i: int) -> Generator:
+            if spec.op == "insert":
+                yield from table_client.insert(
+                    "cohort",
+                    make_entity(
+                        "cohort-pk", f"c{idx}-r{op_i}", size_kb=spec.size_kb
+                    ),
+                )
+            elif spec.op == "query":
+                yield from table_client.query(
+                    "cohort", "cohort-pk", "shared-row"
+                )
+            elif spec.op == "update":
+                yield from table_client.update(
+                    "cohort",
+                    make_entity(
+                        "cohort-pk", "shared-row", size_kb=spec.size_kb
+                    ),
+                )
+            else:
+                yield from table_client.delete(
+                    "cohort", "cohort-pk", f"c{idx}-r{op_i}"
+                )
+
+        return table_op
+    if spec.service == "queue":
+        queue_client = QueueClient(
+            account.queues, timeout_s=spec.timeout_s or 30.0, retry=NO_RETRY
+        )
+
+        def queue_op(op_i: int) -> Generator:
+            if spec.op == "add":
+                yield from queue_client.add(
+                    "cohort", f"m{idx}-{op_i}", size_kb=spec.size_kb
+                )
+            elif spec.op == "peek":
+                yield from queue_client.peek("cohort")
+            else:
+                yield from queue_client.receive("cohort")
+
+        return queue_op
+    endpoint = platform.clients[idx % len(platform.clients)]
+    blob_client = BlobClient(account.blobs, endpoint, retry=NO_RETRY)
+
+    def blob_op(op_i: int) -> Generator:
+        if spec.op == "upload":
+            yield from blob_client.upload(
+                "cohort", f"b{idx}-{op_i}", spec.size_mb
+            )
+        else:
+            yield from blob_client.download("cohort", "seed")
+
+    return blob_op
+
+
+def _seed_exact_state(spec: CohortSpec, platform: Platform) -> None:
+    """Pre-create the service-side state the cohort's op needs.
+
+    Uses the administrative seed paths (:meth:`TableService.seed_entity`,
+    :meth:`BlobService.seed_blob`, direct queue-state pushes) — no
+    events, no RNG draws, so seeding never perturbs the measured run.
+    """
+    from repro.storage.queue import QueueMessage
+    from repro.storage.table import make_entity
+
+    account = platform.account
+    if spec.service == "table":
+        tables = account.tables
+        tables.create_table("cohort")
+        if spec.op in ("query", "update"):
+            tables.seed_entity(
+                "cohort",
+                make_entity("cohort-pk", "shared-row", size_kb=spec.size_kb),
+            )
+        if spec.op == "delete":
+            for idx in range(spec.n_clients):
+                for op_i in range(spec.ops_per_client):
+                    tables.seed_entity(
+                        "cohort",
+                        make_entity(
+                            "cohort-pk",
+                            f"c{idx}-r{op_i}",
+                            size_kb=spec.size_kb,
+                        ),
+                    )
+    elif spec.service == "queue":
+        queues = account.queues
+        queues.create_queue("cohort")
+        if spec.op in ("peek", "receive"):
+            backlog = (
+                spec.n_clients * spec.ops_per_client
+                if spec.op == "receive"
+                else 1
+            )
+            state = queues._queues["cohort"]
+            for i in range(backlog):
+                state.push(
+                    QueueMessage(
+                        payload=f"seed-{i}", size_kb=spec.size_kb
+                    )
+                )
+    else:
+        blobs = account.blobs
+        blobs.create_container("cohort")
+        if spec.op == "download":
+            blobs.seed_blob("cohort", "seed", spec.size_mb)
+
+
+def _run_cohort_exact(
+    spec: CohortSpec, seed: int, platform: Optional[Platform] = None
+) -> CohortResult:
+    """Per-client simulation through the real request path.
+
+    Spawns members in index order via :func:`run_clients` — the same
+    creation order, client stack and RNG streams as the hand-written
+    benches, so an exact-mode cohort is bitwise identical to the
+    equivalent :func:`measured_loop` driver (pinned in tests).
+    """
+    p = platform or build_platform(
+        seed=seed,
+        n_clients=min(spec.n_clients, 192) if spec.service == "blob" else 1,
+    )
+    _seed_exact_state(spec, p)
+    env = p.env
+    think = spec.think_time
+    think_rng = p.streams.stream("cohort.think")
+    arrival_rng = p.streams.stream("cohort.arrival")
+    outcomes: List[ClientRun] = []
+    start = env.now
+    # env.run() runs to quiescence, which includes draining the *lazily
+    # cancelled* client-timeout deadlines (the clock advances past them
+    # by design) — so the cohort makespan is the last member's actual
+    # completion instant, tracked here, not the post-run clock.
+    finish = {"t": start}
+
+    def member(env: Environment, idx: int) -> Generator:
+        op = _make_exact_op(spec, p, idx)
+        if spec.ramp_s > 0:
+            yield env.timeout(
+                float(arrival_rng.uniform(0.0, spec.ramp_s))
+            )
+
+        def one_op(op_i: int) -> Generator:
+            yield from op(op_i)
+            if think is not None:
+                yield env.timeout(think.sample(think_rng))
+
+        yield from measured_loop(
+            env, idx, spec.ops_per_client, one_op, outcomes
+        )
+        finish["t"] = max(finish["t"], env.now)
+
+    run_clients(p, spec.n_clients, member)
+    makespan = finish["t"] - start
+
+    ops_completed = sum(o.ops_completed for o in outcomes)
+    failed = sum(1 for o in outcomes if not o.finished)
+    key = _tracer_key(spec, p.account.name)
+    hist = None
+    if p.tracer is not None:
+        hist = p.tracer.client_latency_histograms().get(key)
+    if hist is not None and hist.count:
+        mean, p50, p99 = (
+            hist.mean,
+            hist.percentile(50),
+            hist.percentile(99),
+        )
+    else:
+        mean = p50 = p99 = 0.0
+    return CohortResult(
+        spec=spec,
+        mode="exact",
+        ops_completed=ops_completed,
+        errors=failed,
+        makespan_s=makespan,
+        latency_mean_s=mean,
+        latency_p50_s=p50,
+        latency_p99_s=p99,
+        failed_clients=failed,
+        outcomes=outcomes,
+    )
+
+
+# -- entry points -----------------------------------------------------------
+
+
+def run_cohort(
+    spec: CohortSpec,
+    seed: int = 0,
+    mode: str = "auto",
+    platform: Optional[Platform] = None,
+    env: Optional[Environment] = None,
+    tracer: Optional[RequestTracer] = None,
+) -> CohortResult:
+    """Run one cohort trial.
+
+    ``mode="auto"`` simulates exactly up to :data:`EXACT_MAX_CLIENTS`
+    members and switches to the batched fluid driver beyond;
+    ``"exact"``/``"batched"`` force a driver.  ``platform`` feeds the
+    exact driver (built fresh when omitted); ``env``/``tracer`` let the
+    batched driver share a caller's kernel and trace sink.
+    """
+    if mode not in ("auto", "exact", "batched"):
+        raise ValueError(f"unknown cohort mode {mode!r}")
+    if mode == "auto":
+        mode = (
+            "exact" if spec.n_clients <= EXACT_MAX_CLIENTS else "batched"
+        )
+    if mode == "exact":
+        return _run_cohort_exact(spec, seed, platform=platform)
+    if platform is not None and tracer is None:
+        tracer = platform.tracer
+    return _run_cohort_batched(spec, seed, env=env, tracer=tracer)
+
+
+def sweep_cohort(
+    spec: CohortSpec,
+    levels: list,
+    seed: int = 0,
+    mode: str = "auto",
+) -> Dict[int, CohortResult]:
+    """Run the cohort at several population sizes (a fig-shaped sweep)."""
+    from dataclasses import replace
+
+    out: Dict[int, CohortResult] = {}
+    for level in levels:
+        out[level] = run_cohort(
+            replace(spec, n_clients=int(level)), seed=seed + int(level),
+            mode=mode,
+        )
+    return out
+
+
+__all__ = [
+    "EXACT_MAX_CLIENTS",
+    "CohortResult",
+    "CohortSpec",
+    "run_cohort",
+    "sweep_cohort",
+]

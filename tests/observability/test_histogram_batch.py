@@ -1,0 +1,153 @@
+"""``Histogram.observe_batch`` is bucket-for-bucket the scalar path.
+
+The cohort driver folds thousands of latencies per kernel event through
+one vectorized call; percentiles must be *identical* to having observed
+each sample in turn (same log-bucket arithmetic), with only the running
+sum allowed to differ in the last ulps (pairwise vs sequential
+summation).
+"""
+
+import numpy as np
+
+from repro.observability.histogram import Histogram, HistogramTally
+from repro.service.tracing import RequestTracer
+
+
+def _samples(seed, n=5000):
+    rng = np.random.default_rng(seed)
+    # A hostile mix: zeros, negatives, sub-resolution, the min_value
+    # boundary exactly, and a heavy tail.
+    parts = [
+        rng.exponential(0.05, size=n),
+        np.zeros(5),
+        np.full(3, -1e-3),
+        np.full(4, 1e-9),
+        np.full(2, 1e-6),  # == min_value exactly: bucket 0, both paths
+        rng.pareto(1.5, size=50) + 1.0,
+    ]
+    return np.concatenate(parts)
+
+
+def test_batch_bucket_counts_identical_to_scalar():
+    values = _samples(1)
+    scalar, batch = Histogram("s"), Histogram("b")
+    for v in values:
+        scalar.observe(float(v))
+    batch.observe_batch(values)
+    assert batch._counts == scalar._counts
+    assert batch._zero == scalar._zero
+    assert batch.count == scalar.count
+    assert batch.minimum == scalar.minimum
+    assert batch.maximum == scalar.maximum
+    assert abs(batch.total - scalar.total) < 1e-9 * max(1.0, abs(scalar.total))
+
+
+def test_batch_percentiles_identical_to_scalar():
+    values = _samples(2)
+    scalar, batch = Histogram("s"), Histogram("b")
+    for v in values:
+        scalar.observe(float(v))
+    batch.observe_batch(values)
+    for q in (0, 1, 25, 50, 90, 99, 99.9, 100):
+        assert batch.percentile(q) == scalar.percentile(q)
+
+
+def test_batch_interleaves_with_scalar_ingestion():
+    hist = Histogram("mixed")
+    hist.observe(0.01)
+    hist.observe_batch([0.02, 0.03])
+    hist.observe(0.04)
+    assert hist.count == 4
+    assert hist.minimum == 0.01 and hist.maximum == 0.04
+
+
+def test_empty_and_reshaped_batches():
+    hist = Histogram("e")
+    hist.observe_batch([])
+    assert hist.count == 0
+    hist.observe_batch(np.array([[0.01, 0.02], [0.03, 0.04]]))
+    assert hist.count == 4
+
+
+def test_tally_batch_delegates():
+    tally = HistogramTally("t")
+    tally.observe_batch([0.1, 0.2, 0.3])
+    assert tally.count == 3
+
+
+# -- RequestTracer.observe_batch -------------------------------------------
+
+
+def test_tracer_batch_folds_client_view():
+    tracer = RequestTracer()
+    lat = np.array([0.01, 0.02, 0.05])
+    tracer.observe_batch(
+        "account.tables", "table.insert", lat, errors=2, client=True
+    )
+    assert tracer.client_total == 5
+    assert tracer.client_errors == 2
+    agg = tracer.client_per_op_totals()[("account.tables", "table.insert")]
+    assert agg["count"] == 5 and agg["errors"] == 2
+    hist = tracer.client_latency_histograms()[("account.tables", "table.insert")]
+    assert hist.count == 3  # errors are not histogrammed
+    # Aggregate-only: no raw records appended.
+    assert tracer.records() == [] and tracer.client_calls() == []
+
+
+def test_tracer_batch_folds_server_view_with_sums():
+    tracer = RequestTracer()
+    tracer.observe_batch(
+        "account.blobs",
+        "blob.download",
+        [0.1, 0.3],
+        queue_waits=[0.01, 0.02],
+        transfers=[0.05, 0.15],
+        sizes_mb=[1.0, 2.0],
+        errors=1,
+    )
+    assert tracer.total == 3 and tracer.errors == 1
+    agg = tracer.per_service_op_totals()[("account.blobs", "blob.download")]
+    assert agg["count"] == 3
+    assert abs(agg["latency_s"] - 0.4) < 1e-12
+    assert abs(agg["queue_wait_s"] - 0.03) < 1e-12
+    assert abs(agg["transfer_s"] - 0.2) < 1e-12
+    assert abs(agg["size_mb"] - 3.0) < 1e-12
+
+
+def test_tracer_batch_matches_scalar_fold():
+    """A batch fold must leave the same aggregates and histogram as the
+    equivalent sequence of observe_call()s (records aside)."""
+    from repro.service.tracing import RequestTrace
+
+    lat = [0.011, 0.025, 0.04, 0.033]
+    scalar, batch = RequestTracer(), RequestTracer()
+    for latency in lat:
+        scalar.observe_call(
+            RequestTrace(
+                service="svc", op="op", started_at=0.0, finished_at=latency
+            )
+        )
+    batch.observe_batch("svc", "op", lat, client=True)
+    assert batch.client_total == scalar.client_total
+    key = ("svc", "op")
+    assert (
+        batch.client_latency_histograms()[key]._counts
+        == scalar.client_latency_histograms()[key]._counts
+    )
+    for q in (50, 99):
+        assert batch.client_latency_histograms()[key].percentile(
+            q
+        ) == scalar.client_latency_histograms()[key].percentile(q)
+
+
+def test_tracer_batch_disabled_is_a_noop():
+    tracer = RequestTracer(enabled=False)
+    tracer.observe_batch("svc", "op", [0.1], client=True)
+    tracer.observe_batch("svc", "op", [0.1])
+    assert tracer.total == 0 and tracer.client_total == 0
+
+
+def test_tracer_batch_empty_is_a_noop():
+    tracer = RequestTracer()
+    tracer.observe_batch("svc", "op", [], errors=0, client=True)
+    assert tracer.client_total == 0 and tracer._client_per_op == {}

@@ -1,0 +1,244 @@
+"""The sharded (calendar-queue) scheduler is observably identical to
+the heap scheduler.
+
+``Environment(scheduler="sharded")`` swaps the pending-event structure
+for per-time-bucket heaps behind the same ``peek``/``step``/``run``
+surface.  The contract is *total* behavioral equivalence: identical
+firing order, identical clock trajectory, identical lazy cancel-discard
+(the clock still advances past cancelled entries), identical
+``run(until=..., horizon=...)`` outcomes — pinned here property-style by
+replaying randomized schedules under both schedulers and comparing
+traces event for event.
+"""
+
+import pytest
+
+from repro.simcore import Environment, RandomStreams, StopSimulation
+
+
+def _both():
+    return Environment(scheduler="heap"), Environment(
+        scheduler="sharded", bucket_width=1.0
+    )
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError):
+        Environment(scheduler="wheel")
+
+
+def test_scheduler_attribute_reflects_choice():
+    heap, sharded = _both()
+    assert heap.scheduler == "heap"
+    assert sharded.scheduler == "sharded"
+
+
+def _run_trace(env, delays):
+    """Schedule ``delays`` as timeouts, run, record (time, tag) firings."""
+    trace = []
+
+    def waiter(env, delay, tag):
+        yield env.timeout(delay)
+        trace.append((env.now, tag))
+
+    for tag, delay in enumerate(delays):
+        env.process(waiter(env, delay, tag))
+    env.run()
+    return trace, env.now
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_random_schedules_fire_identically(seed):
+    """Property: any random mix of delays (sub-bucket, multi-bucket,
+    ties, zero) fires in the same order at the same times under both
+    schedulers, and both clocks end at the same instant."""
+    rng = RandomStreams(seed).stream("delays")
+    delays = [float(d) for d in rng.uniform(0.0, 37.0, size=200)]
+    delays += [1.0, 1.0, 1.0, 0.0, 36.999]  # forced ties and edges
+    heap, sharded = _both()
+    trace_h, now_h = _run_trace(heap, delays)
+    trace_s, now_s = _run_trace(sharded, delays)
+    assert trace_h == trace_s
+    assert now_h == now_s
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12])
+def test_random_cancellations_discard_identically(seed):
+    """Property: cancelling a random subset leaves both schedulers
+    firing the survivors identically — and both clocks still advance
+    past the cancelled entries' times (lazy discard)."""
+    streams = RandomStreams(seed)
+    delays = [
+        float(d) for d in streams.stream("delays").uniform(0.0, 20.0, size=100)
+    ]
+    doomed_mask = [
+        bool(x)
+        for x in streams.stream("cancel").uniform(0.0, 1.0, size=100) < 0.4
+    ]
+    heap, sharded = _both()
+    results = []
+    for env in (heap, sharded):
+        events = [env.timeout(d) for d in delays]
+        for event, kill in zip(events, doomed_mask):
+            if kill:
+                event.cancel()
+        fired = []
+        for idx, event in enumerate(events):
+            if not doomed_mask[idx]:
+                event.add_callback(
+                    lambda e, idx=idx, env=env: fired.append((env.now, idx))
+                )
+        env.run()
+        results.append((fired, env.now))
+    assert results[0] == results[1]
+
+
+def test_cancel_discard_still_advances_clock_sharded():
+    for env in _both():
+        keep = env.timeout(1.0)
+        late = env.timeout(9.0)
+        late.cancel()
+        env.run()
+        # The cancelled 9.0 entry is discarded lazily but the clock
+        # advances to it on drain — identical under both schedulers.
+        assert env.now == 9.0
+        assert keep.processed
+
+
+def test_peek_skips_cancelled_heads_identically():
+    for env in _both():
+        first = env.timeout(1.0)
+        env.timeout(3.0)
+        first.cancel()
+        assert env.peek() == 3.0
+
+
+def test_step_identical_including_empty_error():
+    heap, sharded = _both()
+    for env in (heap, sharded):
+        env.timeout(2.0)
+        env.step()
+        assert env.now == 2.0
+        with pytest.raises(RuntimeError):
+            env.step()
+
+
+def test_run_until_time_stops_clock_identically():
+    for env in _both():
+        ticks = []
+
+        def ticker(env):
+            while True:
+                yield env.timeout(1.0)
+                ticks.append(env.now)
+
+        env.process(ticker(env))
+        env.run(until=10.5)
+        assert env.now == 10.5
+        assert ticks == [float(i) for i in range(1, 11)]
+
+
+def test_run_until_event_with_horizon_identical():
+    outcomes = []
+    for env in _both():
+        def slow(env):
+            yield env.timeout(100.0)
+            return "late"
+
+        proc = env.process(slow(env))
+        try:
+            env.run(until=proc, horizon=5.0)
+            outcomes.append(("returned", env.now))
+        except StopSimulation:
+            outcomes.append(("stopped", env.now))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_process_chains_identical_under_both():
+    """Multi-stage process graphs (spawn, wait, re-spawn) follow the
+    same schedule under both schedulers."""
+    results = []
+    for env in _both():
+        log = []
+
+        def child(env, n):
+            yield env.timeout(0.5 * n)
+            log.append(("child", n, env.now))
+            return n * 2
+
+        def parent(env):
+            for n in range(5):
+                got = yield env.process(child(env, n))
+                log.append(("parent", got, env.now))
+
+        env.process(parent(env))
+        env.run()
+        results.append((log, env.now))
+    assert results[0] == results[1]
+
+
+def test_timeout_batch_schedule_is_bit_identical_to_loop():
+    """``timeout_batch`` must assign the same (time, seq) entries as an
+    equivalent loop of ``timeout`` calls — the whole point of batching
+    is paying less, not scheduling differently."""
+    for scheduler in ("heap", "sharded"):
+        loop_env = Environment(scheduler=scheduler)
+        batch_env = Environment(scheduler=scheduler)
+        delays = [3.0, 1.0, 2.0, 1.0, 0.0, 7.5]
+        for d in delays:
+            loop_env.timeout(d)
+        batch_env.timeout_batch(delays)
+        loop_trace, batch_trace = [], []
+        loop_env.run()
+        batch_env.run()
+        assert loop_env.now == batch_env.now
+
+        # Re-run with observers to compare firing order.
+        loop_env = Environment(scheduler=scheduler)
+        batch_env = Environment(scheduler=scheduler)
+        for i, d in enumerate(delays):
+            loop_env.timeout(d).add_callback(
+                lambda e, i=i: loop_trace.append((loop_env.now, i))
+            )
+        for i, event in enumerate(batch_env.timeout_batch(delays)):
+            event.add_callback(
+                lambda e, i=i: batch_trace.append((batch_env.now, i))
+            )
+        loop_env.run()
+        batch_env.run()
+        assert loop_trace == batch_trace
+
+
+def test_timeout_batch_rejects_negative_delay_atomically():
+    """A bad delay mid-batch must leave nothing scheduled."""
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout_batch([1.0, 2.0, -0.5, 3.0])
+    assert env.peek() == float("inf")  # nothing scheduled
+
+
+def test_timeout_batch_values_delivered():
+    env = Environment()
+    got = []
+
+    def waiter(env, event):
+        value = yield event
+        got.append((env.now, value))
+
+    for event in env.timeout_batch([2.0, 1.0], value="tick"):
+        env.process(waiter(env, event))
+    env.run()
+    assert got == [(1.0, "tick"), (2.0, "tick")]
+
+
+def test_inf_delay_parks_in_inf_bucket():
+    """An unreachable timeout must not break the sharded bucket math
+    (inf // width is nan); it parks at +inf and a bounded run ignores
+    it while still running the finite work."""
+    env = Environment(scheduler="sharded")
+    fired = []
+    env.timeout(2.0).add_callback(lambda e: fired.append(env.now))
+    env.timeout(float("inf"))
+    env.run(until=10.0)
+    assert fired == [2.0]
+    assert env.now == 10.0

@@ -1,0 +1,84 @@
+"""Batch-first stream draws (:class:`repro.simcore.StreamRNG`).
+
+The cohort layer's RNG contract: batched views share the underlying
+generator with scalar consumers of the same name, batch draws are
+deterministic per seed, and the buffered scalar path serves whole
+prefetched blocks in draw order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simcore import Distribution, RandomStreams, StreamRNG
+
+
+def test_batched_view_shares_the_named_generator():
+    streams = RandomStreams(7)
+    rng = streams.batched("x")
+    assert rng.gen is streams.stream("x")
+
+
+def test_batched_view_is_cached():
+    streams = RandomStreams(7)
+    assert streams.batched("x") is streams.batched("x")
+    assert streams.batched("x") is not streams.batched("y")
+
+
+def test_draw_batch_matches_direct_sample_n():
+    """draw_batch is exactly Distribution.sample_n on the same stream —
+    no extra draws, no reordering."""
+    dist = Distribution.exponential(0.3)
+    a = dist.sample_n(RandomStreams(5).stream("s"), 64)
+    b = RandomStreams(5).batched("s").draw_batch(dist, 64)
+    assert np.array_equal(a, b)
+
+
+def test_exponential_and_uniform_batches_deterministic():
+    a = RandomStreams(9).batched("s")
+    b = RandomStreams(9).batched("s")
+    assert np.array_equal(
+        a.exponential_batch(0.1, 32), b.exponential_batch(0.1, 32)
+    )
+    assert np.array_equal(
+        a.uniform_batch(1.0, 2.0, 32), b.uniform_batch(1.0, 2.0, 32)
+    )
+
+
+def test_buffered_draw_serves_blocks_in_draw_order():
+    """Scalar draws come from a prefetched block: the first
+    ``buffer_size`` values equal one direct ``sample_n`` block, in
+    order."""
+    dist = Distribution.exponential(0.5)
+    expected = dist.sample_n(RandomStreams(3).stream("s"), 8)
+    rng = StreamRNG(RandomStreams(3).stream("s"), buffer_size=8)
+    got = [rng.draw(dist) for _ in range(8)]
+    assert got == [float(v) for v in expected]
+
+
+def test_buffered_draw_refills_after_exhaustion():
+    dist = Distribution.constant(1.5)
+    rng = StreamRNG(RandomStreams(0).stream("s"), buffer_size=4)
+    assert [rng.draw(dist) for _ in range(10)] == [1.5] * 10
+
+
+def test_separate_distributions_get_separate_buffers():
+    exp = Distribution.exponential(0.5)
+    const = Distribution.constant(2.0)
+    rng = StreamRNG(RandomStreams(1).stream("s"), buffer_size=4)
+    assert rng.draw(const) == 2.0
+    assert rng.draw(exp) != 2.0
+    assert rng.draw(const) == 2.0
+
+
+def test_buffer_size_validated():
+    with pytest.raises(ValueError):
+        StreamRNG(RandomStreams(0).stream("s"), buffer_size=0)
+
+
+def test_batch_statistics_match_family():
+    rng = RandomStreams(11).batched("stats")
+    exp = rng.exponential_batch(0.25, 20_000)
+    uni = rng.uniform_batch(3.0, 5.0, 20_000)
+    assert abs(exp.mean() - 0.25) < 0.01
+    assert 3.0 <= uni.min() and uni.max() <= 5.0
+    assert abs(uni.mean() - 4.0) < 0.02

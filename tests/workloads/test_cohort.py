@@ -1,0 +1,299 @@
+"""Cohort layer: exact-mode equivalence, fluid-mode statistical parity.
+
+The cohort layer's whole claim is that a batched population is a
+faithful stand-in for per-client simulation.  These tests pin it from
+three sides: the exact driver is *bitwise* the per-client path (same
+platform, same streams, same outcome rows as a hand-written
+``run_clients`` driver); the batched driver matches the exact one
+*statistically* at small N (op counts exactly, latency summaries within
+the fluid model's tolerance); and both modes are deterministic per seed.
+"""
+
+import pytest
+
+from repro.simcore import Distribution, RandomStreams
+from repro.workloads.cohort import (
+    EXACT_MAX_CLIENTS,
+    CohortSpec,
+    run_cohort,
+    sweep_cohort,
+)
+from repro.workloads.harness import build_platform, measured_loop, run_clients
+
+THINK = Distribution.exponential(0.05)
+
+
+def _spec(**overrides):
+    base = dict(
+        service="table",
+        op="insert",
+        n_clients=12,
+        ops_per_client=4,
+        think_time=THINK,
+    )
+    base.update(overrides)
+    return CohortSpec(**base)
+
+
+# -- spec validation -------------------------------------------------------
+
+
+def test_spec_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        CohortSpec(service="table", op="fly", n_clients=1)
+    with pytest.raises(ValueError):
+        CohortSpec(service="disk", op="insert", n_clients=1)
+
+
+def test_spec_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        _spec(n_clients=0)
+    with pytest.raises(ValueError):
+        _spec(ops_per_client=0)
+    with pytest.raises(ValueError):
+        _spec(ramp_s=-1.0)
+    with pytest.raises(ValueError):
+        _spec(batch_window_s=0.0)
+
+
+def test_run_cohort_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        run_cohort(_spec(), mode="fluid-ish")
+
+
+# -- auto mode switch ------------------------------------------------------
+
+
+def test_auto_mode_is_exact_at_small_n():
+    result = run_cohort(_spec(n_clients=EXACT_MAX_CLIENTS), seed=1)
+    assert result.mode == "exact"
+
+
+def test_auto_mode_is_batched_beyond_threshold():
+    result = run_cohort(
+        _spec(n_clients=EXACT_MAX_CLIENTS + 1, ops_per_client=2), seed=1
+    )
+    assert result.mode == "batched"
+
+
+# -- exact mode == the per-client path, bitwise ----------------------------
+
+
+def test_exact_mode_matches_handwritten_driver_bitwise():
+    """An exact-mode cohort IS run_clients + measured_loop: same
+    platform construction, same client stack, same RNG streams — so
+    every outcome row and the tracer aggregates agree exactly."""
+    from repro.client import TableClient
+    from repro.resilience.backoff import NO_RETRY
+    from repro.storage.table import make_entity
+
+    spec = _spec(n_clients=8, ops_per_client=3)
+    cohort = run_cohort(spec, seed=11, mode="exact")
+
+    # The hand-written equivalent of the cohort's exact driver.
+    platform = build_platform(seed=11, n_clients=1)
+    platform.account.tables.create_table("cohort")
+    env = platform.env
+    think_rng = platform.streams.stream("cohort.think")
+    outcomes = []
+
+    def member(env, idx):
+        client = TableClient(
+            platform.account.tables, timeout_s=30.0, retry=NO_RETRY
+        )
+
+        def one_op(op_i):
+            yield from client.insert(
+                "cohort",
+                make_entity(
+                    "cohort-pk", f"c{idx}-r{op_i}", size_kb=spec.size_kb
+                ),
+            )
+            yield env.timeout(THINK.sample(think_rng))
+
+        yield from measured_loop(env, idx, spec.ops_per_client, one_op, outcomes)
+
+    run_clients(platform, spec.n_clients, member)
+
+    assert len(cohort.outcomes) == len(outcomes)
+    for got, want in zip(cohort.outcomes, outcomes):
+        assert got.client == want.client
+        assert got.ops_completed == want.ops_completed
+        assert got.elapsed_s == want.elapsed_s  # bitwise
+        assert got.error == want.error
+    assert cohort.ops_completed == sum(o.ops_completed for o in outcomes)
+
+
+def test_exact_mode_is_deterministic():
+    a = run_cohort(_spec(), seed=5, mode="exact")
+    b = run_cohort(_spec(), seed=5, mode="exact")
+    assert a.summary() == b.summary()
+    c = run_cohort(_spec(), seed=6, mode="exact")
+    assert a.makespan_s != c.makespan_s
+
+
+@pytest.mark.parametrize(
+    "service,op",
+    [
+        ("table", "insert"),
+        ("table", "query"),
+        ("table", "update"),
+        ("table", "delete"),
+        ("queue", "add"),
+        ("queue", "peek"),
+        ("queue", "receive"),
+        ("blob", "upload"),
+        ("blob", "download"),
+    ],
+)
+def test_every_supported_op_runs_clean_in_exact_mode(service, op):
+    """Seeding pre-creates whatever state each op needs (shared rows,
+    queue backlog, download blob), so a small cohort completes without
+    a single error on any supported op."""
+    spec = _spec(
+        service=service, op=op, n_clients=4, ops_per_client=3, size_mb=0.25
+    )
+    result = run_cohort(spec, seed=2, mode="exact")
+    assert result.ops_completed == 4 * 3
+    assert result.errors == 0
+    assert result.failed_clients == 0
+    assert result.latency_mean_s > 0
+    assert result.makespan_s > 0
+
+
+# -- batched mode: statistical parity with exact ---------------------------
+
+
+def test_batched_matches_exact_op_counts_exactly():
+    spec = _spec(n_clients=16, ops_per_client=5)
+    exact = run_cohort(spec, seed=3, mode="exact")
+    batched = run_cohort(spec, seed=3, mode="batched")
+    assert batched.ops_completed == exact.ops_completed == 16 * 5
+    assert batched.errors == exact.errors == 0
+
+
+@pytest.mark.parametrize(
+    "service,op",
+    [("table", "insert"), ("queue", "add"), ("blob", "download")],
+)
+def test_batched_latency_statistically_matches_exact(service, op):
+    """The fluid model and the event-level path share one calibration,
+    so mean and median latency agree within the fluid approximation's
+    envelope (the front-end term uses fixed-point concurrency where the
+    exact path sees instantaneous concurrency)."""
+    spec = _spec(
+        service=service,
+        op=op,
+        n_clients=16,
+        ops_per_client=5,
+        size_mb=0.5,
+    )
+    exact = run_cohort(spec, seed=3, mode="exact")
+    batched = run_cohort(spec, seed=3, mode="batched")
+    for field in ("latency_mean_s", "latency_p50_s"):
+        e, b = getattr(exact, field), getattr(batched, field)
+        assert e > 0 and b > 0
+        assert 0.5 < b / e < 2.0, f"{field}: exact={e:.4f} batched={b:.4f}"
+    # Makespans are max-of-sums over the same think/latency means.
+    assert 0.3 < batched.makespan_s / exact.makespan_s < 3.0
+
+
+def test_batched_mode_is_deterministic():
+    spec = _spec(n_clients=500, ops_per_client=3)
+    a = run_cohort(spec, seed=9, mode="batched")
+    b = run_cohort(spec, seed=9, mode="batched")
+    assert a.summary() == b.summary()
+
+
+def test_batched_scales_to_tens_of_thousands():
+    """10^4 clients through one kernel process: every op accounted for,
+    aggregate throughput and latency populated, sharded scheduler
+    engaged at this population."""
+    spec = _spec(n_clients=10_000, ops_per_client=3)
+    result = run_cohort(spec, seed=4, mode="batched")
+    # A failed member forfeits its remaining ops, so requests issued
+    # never exceed the population's budget.
+    assert 0 < result.ops_completed + result.errors <= 10_000 * 3
+    assert result.aggregate_ops_per_s > 0
+    assert result.latency_p99_s >= result.latency_p50_s > 0
+
+
+def test_batched_sheds_under_overload():
+    """A zero-think, large-payload insert cohort pushes the partition
+    past the overload knee: the fluid model must shed (errors > 0),
+    matching the event-level server's admission behavior."""
+    spec = CohortSpec(
+        service="table",
+        op="insert",
+        n_clients=50_000,
+        ops_per_client=3,
+        think_time=None,
+        size_kb=64.0,
+    )
+    result = run_cohort(spec, seed=8, mode="batched")
+    assert result.errors > 0
+    assert result.failed_clients == result.errors
+    assert result.ops_completed + result.errors <= 50_000 * 3
+
+
+def test_batched_respects_client_timeout():
+    """Latencies are capped at the client timeout and the affected
+    members abort, mirroring race_timeout's ceiling."""
+    spec = CohortSpec(
+        service="blob",
+        op="upload",
+        n_clients=20_000,
+        ops_per_client=2,
+        think_time=None,
+        size_mb=50.0,
+        timeout_s=5.0,
+    )
+    result = run_cohort(spec, seed=8, mode="batched")
+    assert result.latency_p99_s <= 5.0 + 1e-9
+    assert result.errors > 0
+
+
+# -- the shared summary shape ----------------------------------------------
+
+
+def test_summary_has_the_figure_shape_in_both_modes():
+    keys = {
+        "n_clients",
+        "ops_completed",
+        "errors",
+        "failed_clients",
+        "makespan_s",
+        "aggregate_ops_per_s",
+        "mean_client_ops_per_s",
+        "latency_mean_s",
+        "latency_p50_s",
+        "latency_p99_s",
+    }
+    spec = _spec(n_clients=6, ops_per_client=2)
+    for mode in ("exact", "batched"):
+        summary = run_cohort(spec, seed=1, mode=mode).summary()
+        assert set(summary) == keys
+        assert summary["n_clients"] == 6.0
+
+
+def test_sweep_cohort_covers_every_level():
+    spec = _spec(n_clients=1, ops_per_client=2)
+    results = sweep_cohort(spec, levels=[2, 4, 40], seed=1)
+    assert sorted(results) == [2, 4, 40]
+    assert results[2].mode == "exact"
+    assert results[4].mode == "exact"
+    assert results[40].mode == "batched"
+    for level, result in results.items():
+        assert result.spec.n_clients == level
+
+
+def test_batched_can_share_a_caller_tracer():
+    from repro.service.tracing import RequestTracer
+
+    tracer = RequestTracer()
+    spec = _spec(n_clients=100, ops_per_client=2)
+    run_cohort(spec, seed=1, mode="batched", tracer=tracer)
+    assert tracer.client_total == 200
+    # Aggregate-only ingestion: no raw records under cohort traffic.
+    assert tracer.records() == []
+    assert tracer.client_calls() == []

@@ -10,10 +10,25 @@ estimate, and fails only when a *gated* metric falls more than the
 allowed margin below that median — i.e. when it regressed relative to
 the other hot paths measured in the same run.
 
+A second, *ratchet* gate compares against a named historical baseline
+block: the measured rates are first divided by the machine-speed
+estimate (putting them on the committed machine's basis) and then
+required to stay at least ``--baseline-floor`` of the baseline's
+recorded rates.  That pins the reclaimed kernel throughput — the churn
+paths must never again drop below the pre-fair-share baseline, on any
+machine.
+
+Multiple snapshots may be given; the gate folds them per-metric with
+``max`` (the max-of-rounds comparator used throughout BENCH_KERNEL.json:
+the best round approximates the unloaded machine, so two short rounds
+de-flake a single noisy one).
+
 Usage::
 
-    python tools/check_bench_ratio.py bench-smoke.json \
-        [--bench BENCH_KERNEL.json] [--margin 0.2] [--gate METRIC ...]
+    python tools/check_bench_ratio.py bench-smoke.json [more.json ...] \
+        [--bench BENCH_KERNEL.json] [--margin 0.2] [--gate METRIC ...] \
+        [--baseline baseline_pre_incremental_fairshare] \
+        [--baseline-floor 0.95] [--baseline-gate METRIC ...]
 """
 
 from __future__ import annotations
@@ -26,14 +41,31 @@ from pathlib import Path
 
 DEFAULT_BENCH = Path(__file__).resolve().parent.parent / "BENCH_KERNEL.json"
 
-#: Metrics the issue gates on: the fair-share churn path this PR
-#: optimized, and the raw event loop under it.
-DEFAULT_GATES = ("flow_churn_flows_per_s", "timeout_churn_events_per_s")
+#: Metrics gated against the committed ``current`` block (relative to
+#: the same-run median): the fair-share churn path, the raw event loop,
+#: and the batched cohort driver.
+DEFAULT_GATES = (
+    "flow_churn_flows_per_s",
+    "timeout_churn_events_per_s",
+    "cohort_churn_clients_per_s",
+)
+
+#: The historical block the ratchet gate holds the kernel to.
+DEFAULT_BASELINE = "baseline_pre_incremental_fairshare"
+
+#: Metrics the ratchet gates on: the three churn paths the cohort
+#: kernel work reclaimed must stay at (or above) the rates recorded
+#: before the incremental fair-share allocator landed.
+DEFAULT_BASELINE_GATES = (
+    "timeout_churn_events_per_s",
+    "resource_churn_ops_per_s",
+    "race_churn_ops_per_s",
+)
 
 
 def main() -> int:
     parser = argparse.ArgumentParser()
-    parser.add_argument("snapshot", type=Path)
+    parser.add_argument("snapshots", type=Path, nargs="+")
     parser.add_argument("--bench", type=Path, default=DEFAULT_BENCH)
     parser.add_argument(
         "--margin", type=float, default=0.2,
@@ -42,10 +74,26 @@ def main() -> int:
     parser.add_argument(
         "--gate", nargs="*", default=list(DEFAULT_GATES), metavar="METRIC",
     )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="BLOCK",
+        help="historical block for the ratchet gate ('' disables it)",
+    )
+    parser.add_argument(
+        "--baseline-floor", type=float, default=0.95,
+        help="required machine-normalized fraction of the baseline rates",
+    )
+    parser.add_argument(
+        "--baseline-gate", nargs="*", default=list(DEFAULT_BASELINE_GATES),
+        metavar="METRIC",
+    )
     args = parser.parse_args()
 
-    measured = json.loads(args.snapshot.read_text())["kernel"]
-    committed = json.loads(args.bench.read_text())["current"]["kernel"]
+    measured: dict = {}
+    for snapshot in args.snapshots:
+        for key, rate in json.loads(snapshot.read_text())["kernel"].items():
+            measured[key] = max(measured.get(key, 0.0), rate)
+    trajectory = json.loads(args.bench.read_text())
+    committed = trajectory["current"]["kernel"]
 
     shared = sorted(set(measured) & set(committed))
     if not shared:
@@ -74,6 +122,28 @@ def main() -> int:
         print(f"  {key:32s} missing from snapshot or committed block")
     if missing:
         failed.extend(missing)
+
+    baseline_block = trajectory.get(args.baseline) if args.baseline else None
+    if baseline_block:
+        baseline = baseline_block.get("kernel") or {}
+        print(f"\nratchet vs {args.baseline} "
+              f"(machine-normalized, floor {args.baseline_floor:.2f}):")
+        for key in args.baseline_gate:
+            if key not in measured or not baseline.get(key):
+                print(f"  {key:32s} missing from snapshot or baseline")
+                failed.append(key)
+                continue
+            # measured/median ~ the rate this run would have scored on
+            # the machine the committed blocks were recorded on.
+            ratchet = (measured[key] / median) / baseline[key]
+            verdict = "ok" if ratchet >= args.baseline_floor else "REGRESSED"
+            print(f"  {key:32s} {ratchet:>7.3f}  [ratchet] {verdict}")
+            if verdict == "REGRESSED":
+                failed.append(key)
+    elif args.baseline:
+        print(f"\nbaseline block {args.baseline!r} not found; "
+              "skipping ratchet gate")
+
     if failed:
         print(f"\nFAIL: {', '.join(failed)}")
         return 1
