@@ -9,6 +9,7 @@ profiling side of the loop).
 """
 
 from repro.perfsnapshot import (
+    campaign_horizon,
     cohort_churn,
     component_churn,
     failover_churn,
@@ -67,6 +68,15 @@ def test_bench_cohort_churn(benchmark):
     per second; the committed floor is 10^5."""
     clients = benchmark(lambda: cohort_churn(n_clients=20_000, ops=5))
     assert clients == 20_000
+
+
+def test_bench_campaign_horizon(benchmark):
+    """The month-horizon campaign grid (3 failover modes) through the
+    piecewise-stationary fast-forward driver.  The rate is grid cells
+    per second; the event-level grid replays the same month ~350x
+    slower."""
+    cells = benchmark(lambda: campaign_horizon(scale=1.0))
+    assert cells == 3
 
 
 def test_bench_rng_batch(benchmark):

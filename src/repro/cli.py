@@ -215,8 +215,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     spec = CAMPAIGN_SCENARIOS[args.scenario](
         seed=args.seed, scale=args.scale
     )
+    from repro.parallel import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
     start = time.time()
-    report = run_campaign(spec, modes=modes)
+    report = run_campaign(
+        spec, modes=modes, fast=args.fast,
+        guard_band_s=args.guard_band, jobs=jobs,
+    )
     elapsed = time.time() - start
     print(report.render())
     print(f"\n({args.scenario} campaign finished in {elapsed:.1f}s)")
@@ -521,6 +527,32 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "comma-separated failover modes to replay (default: "
             "none,manual,automatic)"
+        ),
+    )
+    p_campaign.add_argument(
+        "--fast", action="store_true",
+        help=(
+            "piecewise-stationary fast-forward: solve the stationary "
+            "windows between fault/failover transitions analytically "
+            "and event-simulate only a guard band around each "
+            "transition (availability verdicts and minute counts match "
+            "event-level replay; latency tails are statistical)"
+        ),
+    )
+    p_campaign.add_argument(
+        "--guard-band", type=float, default=None, metavar="S",
+        help=(
+            "--fast only: event-level radius in seconds around each "
+            "transition (default: replication lag + client timeout, "
+            "at least 65s)"
+        ),
+    )
+    p_campaign.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "worker processes for the failover-mode grid (default: "
+            "auto = usable cores capped at 8; 1 = in-process serial; "
+            "results are bit-identical for any value)"
         ),
     )
     p_campaign.add_argument(

@@ -388,3 +388,60 @@ class DomainFaultInjector:
             "t": self.env.now, "event": "repair", "domain": domain.name,
             "kind": fault.kind, "servers": len(servers), "links": len(links),
         })
+
+
+# -- timeline export ---------------------------------------------------------
+#
+# Pure functions over an injector's fault/repair ``log``: the campaign
+# fast-forward kernel replays a realized schedule (phase 1) into the
+# piecewise-stationary window boundaries it solves between (phase 2).
+# Nothing here touches the simulation — the log is plain data.
+
+def fault_transition_times(log: List[Dict[str, Any]]) -> List[float]:
+    """Every instant the platform's fault state changed, sorted, unique."""
+    return sorted({float(entry["t"]) for entry in log})
+
+
+def domain_down_intervals(
+    log: List[Dict[str, Any]],
+    names: Any,
+    horizon_s: Optional[float] = None,
+) -> List[Tuple[float, float]]:
+    """Merged ``[start, end)`` intervals during which any domain in
+    ``names`` was inside an outage — the offline mirror of
+    :meth:`DomainFaultInjector.is_down` for a fixed target: pass the
+    domain's own name *plus all its ancestors* to reproduce the
+    ancestor-aware health the injector reports live.
+
+    Overlapping episodes merge (depth counting, exactly like the
+    injector's ``_down_domains`` refcounts); an episode with no repair
+    in the log is closed at ``horizon_s`` (``inf`` when not given).
+    """
+    wanted = set(names)
+    events = sorted(
+        (float(entry["t"]), 1 if entry["event"] == "fault" else -1)
+        for entry in log
+        if entry["domain"] in wanted
+    )
+    intervals: List[Tuple[float, float]] = []
+    depth = 0
+    start = 0.0
+    for t, delta in events:
+        if depth == 0 and delta > 0:
+            start = t
+        depth += delta
+        if depth == 0 and delta < 0:
+            intervals.append((start, t))
+    if depth > 0:
+        intervals.append(
+            (start, float("inf") if horizon_s is None else float(horizon_s))
+        )
+    return intervals
+
+
+def down_at(intervals: List[Tuple[float, float]], t: float) -> bool:
+    """Whether ``t`` falls inside any (sorted, disjoint) interval."""
+    import bisect
+
+    i = bisect.bisect_right(intervals, (t, float("inf"))) - 1
+    return i >= 0 and intervals[i][0] <= t < intervals[i][1]

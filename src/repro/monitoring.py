@@ -40,6 +40,18 @@ class Counter:
         self.value += by
 
 
+@dataclass
+class _FrozenGauge:
+    """A gauge snapshot: the constant a live gauge froze at when its
+    registry crossed a process boundary (live callbacks close over the
+    simulation world and cannot be pickled)."""
+
+    value: float
+
+    def __call__(self) -> float:
+        return self.value
+
+
 class MetricsRegistry:
     """Namespaced counters, gauges and latency tallies."""
 
@@ -47,6 +59,14 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Callable[[], float]] = {}
         self._tallies: Dict[str, HistogramTally] = {}
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        state["_gauges"] = {
+            name: _FrozenGauge(self.read_gauge(name))
+            for name in self._gauges
+        }
+        return state
 
     # -- counters ----------------------------------------------------------
     def counter(self, name: str) -> Counter:

@@ -17,7 +17,11 @@ infrastructure early in the project") as a layer, not a counter:
   survives bounded-window trimming;
 * :mod:`repro.observability.slo`       -- the declarative SLO engine:
   availability and latency objectives evaluated from histograms with
-  error-budget and burn-rate output.
+  error-budget and burn-rate output;
+* :mod:`repro.observability.windows`   -- :class:`MinuteAvailability`,
+  the per-minute user-side availability accumulator both campaign
+  drivers (event-level and piecewise-stationary fast-forward) fold
+  into, mergeable and window-boundary invariant by construction.
 
 Span capture is *pure measurement*: spans record clock readings and
 schedule nothing, so golden experiment digests stay bit-identical with
@@ -47,11 +51,13 @@ from repro.observability.spans import (
     SpanContext,
     SpanTracer,
 )
+from repro.observability.windows import MinuteAvailability
 
 __all__ = [
     "ABANDONED",
     "Histogram",
     "HistogramTally",
+    "MinuteAvailability",
     "SLO",
     "SLOReport",
     "SLOResult",

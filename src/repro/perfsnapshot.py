@@ -208,6 +208,21 @@ def cohort_churn(n_clients: int = 20_000, ops: int = 5) -> int:
     return n_clients
 
 
+def campaign_horizon(scale: float = 1.0) -> int:
+    """The month-horizon availability campaign through the
+    piecewise-stationary fast-forward driver: all three failover modes
+    (the full scenario grid of ``repro campaign month --fast``), each
+    cell solving the stationary windows between fault/failover
+    transitions analytically and event-simulating only the guard bands.
+    The rate is *grid cells per second*; the event-level grid replays
+    ~86k client ops per cell and runs ~350x slower."""
+    from repro.resilience.campaign import month_campaign_spec, run_campaign
+
+    spec = month_campaign_spec(seed=3, scale=scale)
+    report = run_campaign(spec, fast=True)
+    return len(report.results)
+
+
 def rng_batch(n_draws: int = 500_000, block: int = 4096) -> int:
     """Vectorized stream draws: the cohort driver's RNG hot path
     (exponential jitter blocks plus distribution batches)."""
@@ -262,6 +277,9 @@ def kernel_snapshot(repeat: int = 5) -> Dict[str, float]:
         ),
         "rng_batch_draws_per_s": _best_rate(
             rng_batch, 500_000, 4096, repeat=repeat
+        ),
+        "campaign_horizon_cells_per_s": _best_rate(
+            campaign_horizon, 1.0, repeat=min(repeat, 3)
         ),
     }
 

@@ -31,13 +31,14 @@ month of correlated failures.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.analysis import ascii_table
 from repro.cluster.domains import FailureDomain, register_account
 from repro.faults import DomainFaultInjector
 from repro.monitoring import MetricsRegistry, attach_retry_budget
+from repro.observability.windows import MinuteAvailability
 from repro.resilience.drills import PolicyResult, PolicySpec
 from repro.resilience.hedging import HedgePolicy
 from repro.service.tracing import RequestTracer
@@ -253,9 +254,94 @@ def _campaign_policy() -> PolicySpec:
     )
 
 
-def _run_mode(spec: CampaignSpec, mode: str) -> ModeResult:
-    """One failover mode × one campaign: fresh environment, same seed,
-    same correlated-fault schedule, same op mix."""
+@dataclass
+class CampaignWorld:
+    """One fully wired campaign cell (mode × scenario), before any ops.
+
+    Both drivers build the identical world through
+    :func:`build_campaign_world` — same construction order, same
+    name-keyed RNG streams, same schedules — and differ only in which
+    client operations they *really* simulate: the event-level path
+    schedules all of them, the piecewise-stationary fast path only those
+    inside guard bands (phase 2) or none at all (phase 1, the
+    timeline-realization run).
+    """
+
+    spec: CampaignSpec
+    mode: str
+    env: Environment
+    streams: RandomStreams
+    root: FailureDomain
+    injector: DomainFaultInjector
+    policy: Any
+    budget: Any
+    registry: MetricsRegistry
+    latency: Any
+    tracer: RequestTracer
+    primary: StorageAccount
+    geo: Optional[GeoReplicatedAccount]
+    client: Any
+    #: Pre-drawn read/write mix, ``mix[idx][k]`` True for a read —
+    #: identical across modes and across both drivers.
+    mix: Any
+    avail: MinuteAvailability
+    accounts: List[StorageAccount] = field(default_factory=list)
+
+    def issue_time(self, idx: int, k: int) -> float:
+        """The exact instant client ``idx`` issues its ``k``-th op (the
+        event path realizes the same value by accumulating exact binary
+        timeouts)."""
+        spec = self.spec
+        return (
+            idx * spec.op_interval_s / spec.n_clients
+            + k * spec.op_interval_s
+        )
+
+    def one_op(self, idx: int, k: int) -> Generator:
+        """One measured client operation: the shared op body both
+        drivers run for really-simulated ops."""
+        env, spec, registry = self.env, self.spec, self.registry
+        minute = self.avail.minute_of(env.now)
+        if self.mix[idx][k]:
+            _result, outcome = yield from self.client.query_measured(
+                "t", "hot", "hot"
+            )
+        else:
+            entity = make_entity(
+                "p", f"c{idx}-k{k}", size_kb=spec.entity_kb
+            )
+            _result, outcome = yield from self.client.insert_measured(
+                "t", entity
+            )
+        registry.counter("drill.retries").increment(outcome.retries)
+        if outcome.ok:
+            self.latency.observe(outcome.latency_s)
+            registry.counter("drill.ok").increment()
+            self.avail.observe(minute, True)
+        else:
+            registry.tally("drill.give_up_latency").observe(
+                outcome.latency_s
+            )
+            registry.counter("drill.failed").increment()
+            self.avail.observe(minute, False)
+
+    def server_attempts(self) -> int:
+        attempts = sum(
+            s.stats.started for s in self.primary.tables.servers()
+        )
+        if self.geo is not None:
+            attempts += sum(
+                s.stats.started
+                for s in self.geo.secondary.tables.servers()
+            )
+        return attempts
+
+
+def build_campaign_world(
+    spec: CampaignSpec, mode: str, tracer: Optional[RequestTracer] = None
+) -> CampaignWorld:
+    """Build one mode × campaign world: fresh environment, same seed,
+    same correlated-fault schedule, same op mix — no ops scheduled."""
     if mode not in CAMPAIGN_MODES:
         raise ValueError(
             f"unknown campaign mode {mode!r}; expected one of "
@@ -285,10 +371,11 @@ def _run_mode(spec: CampaignSpec, mode: str) -> ModeResult:
         attach_retry_budget(registry, budget)
     latency = registry.tally("drill.latency")
 
-    # Month-horizon runs issue tens of thousands of ops; per-request
-    # tracing is pure overhead here (availability is measured from
-    # client outcomes), so the campaign accounts run untraced.
-    tracer = RequestTracer(enabled=False)
+    if tracer is None:
+        # Month-horizon runs issue tens of thousands of ops; per-request
+        # tracing is pure overhead here (availability is measured from
+        # client outcomes), so the campaign accounts run untraced.
+        tracer = RequestTracer(enabled=False)
     geo: Optional[GeoReplicatedAccount] = None
     if mode == "none":
         # Named like the geo primary so both worlds draw the same
@@ -341,86 +428,67 @@ def _run_mode(spec: CampaignSpec, mode: str) -> ModeResult:
     ) < spec.read_fraction
 
     n_minutes = max(1, int(math.ceil(spec.duration_s / 60.0)))
-    ok_by_min = [0] * n_minutes
-    total_by_min = [0] * n_minutes
+    return CampaignWorld(
+        spec=spec, mode=mode, env=env, streams=streams, root=root,
+        injector=injector, policy=policy, budget=budget,
+        registry=registry, latency=latency, tracer=tracer,
+        primary=primary, geo=geo, client=client, mix=mix,
+        avail=MinuteAvailability(n_minutes), accounts=accounts,
+    )
 
-    def one_op(idx: int, k: int):
-        minute = min(int(env.now // 60.0), n_minutes - 1)
-        if mix[idx][k]:
-            _result, outcome = yield from client.query_measured(
-                "t", "hot", "hot"
-            )
-        else:
-            entity = make_entity(
-                "p", f"c{idx}-k{k}", size_kb=spec.entity_kb
-            )
-            _result, outcome = yield from client.insert_measured(
-                "t", entity
-            )
-        registry.counter("drill.retries").increment(outcome.retries)
-        total_by_min[minute] += 1
-        if outcome.ok:
-            latency.observe(outcome.latency_s)
-            registry.counter("drill.ok").increment()
-            ok_by_min[minute] += 1
-        else:
-            registry.tally("drill.give_up_latency").observe(
-                outcome.latency_s
-            )
-            registry.counter("drill.failed").increment()
 
-    def arrivals(idx: int):
-        # Staggered open-loop arrivals, exactly the drill discipline.
-        yield env.timeout(idx * spec.op_interval_s / spec.n_clients)
-        for k in range(spec.ops_per_client):
-            env.process(one_op(idx, k))
-            yield env.timeout(spec.op_interval_s)
-
-    for idx in range(spec.n_clients):
-        env.process(arrivals(idx))
-    env.run(until=spec.duration_s + spec.grace_s)
-
+def collect_mode_result(world: CampaignWorld) -> ModeResult:
+    """Assemble the shared verdict record from a finished world — both
+    drivers end here, so fast-mode results are byte-compatible."""
+    spec, mode = world.spec, world.mode
+    registry, latency = world.registry, world.latency
     result = PolicyResult(policy=mode, spec=spec, registry=registry)
     result.ok = int(registry.counter("drill.ok").value)
     result.failed = int(registry.counter("drill.failed").value)
     result.ops = result.ok + result.failed
     result.retries = int(registry.counter("drill.retries").value)
-    result.shed_retries = budget.shed if budget is not None else 0
-    attempts = sum(s.stats.started for s in primary.tables.servers())
-    if geo is not None:
-        attempts += sum(
-            s.stats.started for s in geo.secondary.tables.servers()
-        )
-    result.server_attempts = attempts
+    result.shed_retries = (
+        world.budget.shed if world.budget is not None else 0
+    )
+    result.server_attempts = world.server_attempts()
     if latency.count:
         result.p50_ms = float(latency.percentile(50)) * 1000.0
         result.p99_ms = float(latency.percentile(99)) * 1000.0
 
-    sampled = [
-        (ok, total)
-        for ok, total in zip(ok_by_min, total_by_min)
-        if total > 0
-    ]
-    availabilities = [ok / total for ok, total in sampled]
+    avail = world.avail
     mode_result = ModeResult(mode=mode, result=result)
-    mode_result.minutes = len(sampled)
-    mode_result.bad_minutes = sum(
-        1 for ok, total in sampled if ok < total
+    mode_result.minutes = avail.minutes
+    mode_result.bad_minutes = avail.bad_minutes
+    mode_result.zero_minutes = avail.zero_minutes
+    mode_result.worst_minute_availability = (
+        avail.worst_minute_availability
     )
-    mode_result.zero_minutes = sum(
-        1 for ok, _total in sampled if ok == 0
-    )
-    if availabilities:
-        mode_result.worst_minute_availability = min(availabilities)
-        mode_result.mean_minute_availability = (
-            sum(availabilities) / len(availabilities)
-        )
-    mode_result.client_failovers = getattr(client, "failovers", 0)
-    if geo is not None:
-        mode_result.account_failovers = geo.failovers
-        mode_result.account_failbacks = geo.failbacks
-        mode_result.lost_writes = geo.lost_writes
+    mode_result.mean_minute_availability = avail.mean_minute_availability
+    mode_result.client_failovers = getattr(world.client, "failovers", 0)
+    if world.geo is not None:
+        mode_result.account_failovers = world.geo.failovers
+        mode_result.account_failbacks = world.geo.failbacks
+        mode_result.lost_writes = world.geo.lost_writes
     return mode_result
+
+
+def _run_mode(spec: CampaignSpec, mode: str) -> ModeResult:
+    """One failover mode × one campaign, at event level: every client
+    operation really simulated."""
+    world = build_campaign_world(spec, mode)
+    env = world.env
+
+    def arrivals(idx: int):
+        # Staggered open-loop arrivals, exactly the drill discipline.
+        yield env.timeout(idx * spec.op_interval_s / spec.n_clients)
+        for k in range(spec.ops_per_client):
+            env.process(world.one_op(idx, k))
+            yield env.timeout(spec.op_interval_s)
+
+    for idx in range(spec.n_clients):
+        env.process(arrivals(idx))
+    env.run(until=spec.duration_s + spec.grace_s)
+    return collect_mode_result(world)
 
 
 def _table_client(
@@ -438,15 +506,53 @@ def _table_client(
     )
 
 
+def _campaign_cell(
+    spec: CampaignSpec,
+    mode: str,
+    fast: bool = False,
+    guard_band_s: Optional[float] = None,
+) -> ModeResult:
+    """One scenario × failover-mode grid cell (module-level, so the
+    process-pool fan-out can pickle it)."""
+    if fast:
+        from repro.resilience.fastforward import fast_run_mode
+
+        return fast_run_mode(spec, mode, guard_band_s=guard_band_s)
+    return _run_mode(spec, mode)
+
+
 def run_campaign(
     spec: CampaignSpec,
     modes: Optional[Sequence[str]] = None,
+    fast: bool = False,
+    guard_band_s: Optional[float] = None,
+    jobs: int = 1,
 ) -> CampaignReport:
     """Replay ``spec``'s correlated-fault schedule once per failover
-    mode (same seed, same schedule, same op mix)."""
+    mode (same seed, same schedule, same op mix).
+
+    ``fast`` switches every cell to the piecewise-stationary
+    fast-forward driver (:mod:`repro.resilience.fastforward`);
+    ``guard_band_s`` widens/narrows its event-level guard bands.
+    ``jobs`` fans the mode cells over a process pool
+    (:func:`repro.parallel.run_trials`) — each cell is an independent
+    world, so parallel execution is bit-identical to serial.
+    """
     if modes is None:
         modes = CAMPAIGN_MODES
-    return CampaignReport(spec, [_run_mode(spec, m) for m in modes])
+    if jobs != 1 and len(modes) > 1:
+        from repro.parallel import run_trials
+
+        results = run_trials(
+            _campaign_cell,
+            [(spec, m, fast, guard_band_s) for m in modes],
+            jobs=jobs,
+        )
+    else:
+        results = [
+            _campaign_cell(spec, m, fast, guard_band_s) for m in modes
+        ]
+    return CampaignReport(spec, list(results))
 
 
 # -- standard campaigns (the CLI scenarios) ---------------------------------
@@ -511,7 +617,10 @@ __all__ = [
     "CampaignFault",
     "CampaignReport",
     "CampaignSpec",
+    "CampaignWorld",
     "ModeResult",
+    "build_campaign_world",
+    "collect_mode_result",
     "day_campaign_spec",
     "month_campaign_spec",
     "run_campaign",

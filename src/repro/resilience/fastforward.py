@@ -1,0 +1,560 @@
+"""Piecewise-stationary campaign fast-forward.
+
+Between fault/repair/failover transitions a campaign's platform is
+statistically stationary: the fault state, the live replica topology
+and the (tiny, open-loop) offered load are all constant, so every
+client operation inside such a window has the same outcome
+distribution.  Event-level replay spends millions of kernel events
+re-deriving that constant; this driver instead *solves* each window —
+per-(service, op) latency from the cohort fixed-point solver
+(:mod:`repro.workloads.cohort`), outcomes from a deterministic
+classification of the replica topology — and emits the results as
+batched observations, dropping to event-level simulation only inside a
+**guard band** around each transition.
+
+Two phases, both through :func:`~repro.resilience.campaign.\
+build_campaign_world` (the exact world the event-level driver builds):
+
+1. **Timeline realization** — the same world with *no client ops*, run
+   to the horizon.  Domain faults draw repairs from the dedicated
+   ``domain-faults`` stream and the failover monitor's probes read only
+   injector health, so the realized fault log and the account's
+   ``state_log`` are *exactly* the event-level timeline (client ops
+   never touch either).
+2. **Guard-band replay + analytic fold** — a fresh identical world in
+   which only ops issued within ``guard_band_s`` of a transition are
+   really simulated (real client stack, real retries, real
+   replication-lag ledger — so ``lost_writes`` and the geo counters are
+   exact).  Every other op is folded analytically:
+
+   * **outcome** from ``classify``: mode, geo state and per-replica
+     reachability decide direct success / cross-replica failover
+     success / failure.  All inputs are deterministic, so analytic
+     availability — and with it the per-minute bad/dark counts and the
+     availability SLO burn — reproduces event-level replay exactly
+     (failing ops resolve well inside the guard radius, so no analytic
+     op's outcome straddles a transition);
+   * **latency** from the stationary cohort solve, drawn through the
+     cohort driver's own stage sampler; failing passes add full-jitter
+     backoff ladder sums drawn per granted retry;
+   * **retries/sheds** from a chronological token-bucket ledger that
+     mirrors the client retry budget over *all* ops (guard ops
+     participate as virtual entries so the token trajectory tracks the
+     event-level world's).
+
+Known approximations (latency/retry tails only; availability, minute
+counts and the availability burn are unaffected): hedge backup legs are
+ignored (a blacked-out attempt fails orders of magnitude sooner than
+the hedge delay, and healthy hedging only shaves the last percentile);
+the phase-2 retry budget starts from the configured initial tokens
+rather than the event path's mid-campaign level; analytic backoff draws
+come from a dedicated RNG stream rather than the policy stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, cast
+
+import numpy as np
+
+from repro.faults import domain_down_intervals, fault_transition_times
+from repro.resilience.campaign import (
+    CampaignSpec,
+    CampaignWorld,
+    ModeResult,
+    _campaign_policy,
+    build_campaign_world,
+    collect_mode_result,
+)
+from repro.service.tracing import RequestTracer
+from repro.storage.account import GEO_FAILING_OVER, GEO_PRIMARY, GEO_SECONDARY
+from repro.workloads.cohort import (
+    draw_stationary_latencies,
+    solve_stationary,
+    stationary_op_model,
+)
+
+#: The domain the primary's health (and the clients' view of it) hangs
+#: off, and the domains whose loss severs the secondary from the
+#: clients' region — must match ``build_campaign_world``'s
+#: ``register_account`` wiring.
+_PRIMARY_DOMAIN = "rack-a1"
+_SECONDARY_DOMAINS = ("rack-b1", "wan")
+
+_STATE_CODES = {GEO_PRIMARY: 0, GEO_FAILING_OVER: 1, GEO_SECONDARY: 2}
+
+#: Deterministic outcome classes for one client op.
+CAT_OK_READ = 0            # direct read success on the routed replica
+CAT_OK_WRITE = 1           # direct write success on the active replica
+CAT_OK_FAILOVER_READ = 2   # first pass down, cross-replica pass succeeds
+CAT_FAIL_READ = 3          # both replicas unreachable
+CAT_FAIL_WRITE = 4         # active replica unreachable (server-reaching)
+CAT_FAIL_READONLY = 5      # write during a promotion (guard-rejected)
+CAT_FAIL_NONE = 6          # single-replica mode, primary unreachable
+
+_OK_CATS = (CAT_OK_READ, CAT_OK_WRITE, CAT_OK_FAILOVER_READ)
+
+
+def default_guard_band_s(spec: CampaignSpec) -> float:
+    """The default event-level radius around each transition.
+
+    ``>= lag_s`` makes the replication-lag ledger exact (every write
+    that could be at risk at a promotion is really simulated);
+    ``>= ~60 s`` covers the longest failing-op ladder (two full-jitter
+    ladders cap at ~52 s), so no analytic op's outcome can straddle a
+    transition; the client timeout pads in-flight ops at the edges.
+    """
+    return max(spec.replication_lag_s, 60.0) + spec.client_timeout_s
+
+
+@dataclass
+class TransitionTimeline:
+    """The realized (phase-1) piecewise-stationary window structure."""
+
+    #: Merged ``[start, end)`` unreachability of each replica, as the
+    #: *clients* see it (domain + ancestors; the secondary includes the
+    #: WAN).
+    primary_down: List[Tuple[float, float]]
+    secondary_down: List[Tuple[float, float]]
+    #: Failover state machine trajectory ``(t, state)``.
+    state_log: List[Tuple[float, str]]
+    #: Every boundary between stationary windows, sorted.
+    transitions: List[float]
+
+
+def _with_ancestors(root: Any, names: Sequence[str]) -> set:
+    out = set()
+    for name in names:
+        domain = root.find(name)
+        out.add(domain.name)
+        out.update(a.name for a in domain.ancestors())
+    return out
+
+
+def realize_timeline(spec: CampaignSpec, mode: str) -> TransitionTimeline:
+    """Phase 1: run the ops-free world and read off the exact timeline."""
+    world = build_campaign_world(spec, mode)
+    horizon = spec.duration_s + spec.grace_s
+    world.env.run(until=horizon)
+    log = world.injector.log
+    primary_down = domain_down_intervals(
+        log, _with_ancestors(world.root, [_PRIMARY_DOMAIN]), horizon
+    )
+    secondary_down = domain_down_intervals(
+        log, _with_ancestors(world.root, _SECONDARY_DOMAINS), horizon
+    )
+    state_log = (
+        list(world.geo.state_log)
+        if world.geo is not None
+        else [(0.0, GEO_PRIMARY)]
+    )
+    transitions = sorted(
+        set(fault_transition_times(log))
+        | {t for t, _state in state_log[1:]}
+    )
+    return TransitionTimeline(
+        primary_down=primary_down,
+        secondary_down=secondary_down,
+        state_log=state_log,
+        transitions=transitions,
+    )
+
+
+def merge_guard_bands(
+    transitions: List[float], guard_s: float
+) -> List[Tuple[float, float]]:
+    """``[t - g, t + g]`` around each transition, merged where they
+    overlap."""
+    bands: List[Tuple[float, float]] = []
+    for t in sorted(transitions):
+        lo, hi = max(0.0, t - guard_s), t + guard_s
+        if bands and lo <= bands[-1][1]:
+            bands[-1] = (bands[-1][0], max(bands[-1][1], hi))
+        else:
+            bands.append((lo, hi))
+    return bands
+
+
+def _membership(
+    ts: np.ndarray, intervals: List[Tuple[float, float]]
+) -> np.ndarray:
+    """Boolean mask: which of the sorted ``ts`` fall inside any of the
+    sorted, disjoint ``[start, end)`` intervals."""
+    out = np.zeros(ts.size, dtype=bool)
+    if not intervals:
+        return out
+    starts = np.array([a for a, _b in intervals])
+    ends = np.array([b for _a, b in intervals])
+    i = np.searchsorted(starts, ts, side="right") - 1
+    valid = i >= 0
+    out[valid] = ts[valid] < ends[i[valid]]
+    return out
+
+
+def classify_ops(
+    mode: str,
+    is_read: np.ndarray,
+    p_down: np.ndarray,
+    s_down: np.ndarray,
+    state: np.ndarray,
+) -> np.ndarray:
+    """The deterministic outcome class of every op.
+
+    Mirrors the client stack exactly: reads route by
+    ``read_replica()`` (primary only while the state machine is in
+    ``primary-active``) and get one full cross-replica pass on
+    transport failure; writes are guarded onto the active replica
+    (none mid-promotion) and their cross-replica pass is always
+    guard-rejected, so a write succeeds iff the active replica is
+    reachable.
+    """
+    if mode == "none":
+        ok = ~p_down
+        return np.where(
+            ok,
+            np.where(is_read, CAT_OK_READ, CAT_OK_WRITE),
+            CAT_FAIL_NONE,
+        ).astype(np.int8)
+    primary_active = state == _STATE_CODES[GEO_PRIMARY]
+    route_down = np.where(primary_active, p_down, s_down)
+    other_down = np.where(primary_active, s_down, p_down)
+    read_cat = np.where(
+        ~route_down,
+        CAT_OK_READ,
+        np.where(~other_down, CAT_OK_FAILOVER_READ, CAT_FAIL_READ),
+    )
+    promoting = state == _STATE_CODES[GEO_FAILING_OVER]
+    active_down = np.where(primary_active, p_down, s_down)
+    write_cat = np.where(
+        promoting,
+        CAT_FAIL_READONLY,
+        np.where(~active_down, CAT_OK_WRITE, CAT_FAIL_WRITE),
+    )
+    return np.where(is_read, read_cat, write_cat).astype(np.int8)
+
+
+def _run_budget_ledger(
+    cat: np.ndarray, analytic: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Chronological token-bucket mirror of the client retry budget.
+
+    Returns per-op granted retries for the first and second client
+    passes, plus how many *analytic* retries were shed.  Guard-band ops
+    participate (deposits and spends) so the token trajectory tracks
+    the event-level run's, but their realized retries come from the
+    real simulation.
+    """
+    pspec = _campaign_policy()
+    tokens = float(pspec.budget_initial)
+    cap = float(pspec.budget_max)
+    ratio = float(pspec.budget_ratio)
+    max_r = int(pspec.max_retries)
+    r1 = np.zeros(cat.size, dtype=np.int64)
+    r2 = np.zeros(cat.size, dtype=np.int64)
+    shed = 0
+    cats = cat.tolist()
+    ana = analytic.tolist()
+    for i, c in enumerate(cats):
+        # Every client pass deposits ratio tokens at entry.
+        tokens = min(cap, tokens + ratio)
+        if c <= CAT_OK_WRITE:
+            continue
+        # First pass fails: up to max_r granted retries, one shed ends
+        # the pass (with_retries raises on the first failed spend).
+        g = 0
+        while g < max_r:
+            if tokens >= 1.0:
+                tokens -= 1.0
+                g += 1
+            else:
+                if ana[i]:
+                    shed += 1
+                break
+        r1[i] = g
+        if c == CAT_FAIL_NONE:
+            continue
+        if c == CAT_OK_FAILOVER_READ:
+            # Second (cross-replica) pass succeeds first try: deposit
+            # only.
+            tokens = min(cap, tokens + ratio)
+            continue
+        # Failing second pass (reads with both replicas down; writes
+        # are always guard-rejected cross-replica).
+        tokens = min(cap, tokens + ratio)
+        g = 0
+        while g < max_r:
+            if tokens >= 1.0:
+                tokens -= 1.0
+                g += 1
+            else:
+                if ana[i]:
+                    shed += 1
+                break
+        r2[i] = g
+    return r1, r2, shed
+
+
+def _backoff_ceilings() -> List[float]:
+    pspec = _campaign_policy()
+    return [
+        min(
+            pspec.backoff_cap_s,
+            pspec.backoff_base_s * pspec.backoff_factor**j,
+        )
+        for j in range(int(pspec.max_retries))
+    ]
+
+
+def fast_run_mode(
+    spec: CampaignSpec,
+    mode: str,
+    guard_band_s: Optional[float] = None,
+) -> ModeResult:
+    """One failover mode × one campaign via piecewise-stationary
+    fast-forward; returns the same :class:`ModeResult` shape as the
+    event-level driver."""
+    guard_s = (
+        default_guard_band_s(spec) if guard_band_s is None
+        else float(guard_band_s)
+    )
+    timeline = realize_timeline(spec, mode)
+    bands = merge_guard_bands(timeline.transitions, guard_s)
+
+    # Fast mode can afford per-request tracing for the handful of real
+    # ops, and the analytic fold feeds the same tracer in batches.
+    world = build_campaign_world(spec, mode, tracer=RequestTracer())
+    env = world.env
+    n, opc = spec.n_clients, spec.ops_per_client
+    interval = spec.op_interval_s
+
+    # Exact issue times in chronological order: t = idx*interval/n +
+    # k*interval, the identical binary floats the event path's timeout
+    # accumulation realizes.
+    k_arr = np.repeat(np.arange(opc), n)
+    idx_arr = np.tile(np.arange(n), opc)
+    ts = idx_arr * interval / n + k_arr * interval
+    is_read = world.mix[idx_arr, k_arr]
+    minutes = np.minimum(
+        (ts // world.avail.window_s).astype(np.int64),
+        world.avail.n_minutes - 1,
+    )
+
+    p_down = _membership(ts, timeline.primary_down)
+    s_down = _membership(ts, timeline.secondary_down)
+    state_times = np.array([t for t, _s in timeline.state_log])
+    state_codes = np.array(
+        [_STATE_CODES[s] for _t, s in timeline.state_log], dtype=np.int8
+    )
+    state = state_codes[
+        np.searchsorted(state_times, ts, side="right") - 1
+    ]
+    guard = _membership(ts, bands)
+    analytic = ~guard
+
+    cat = classify_ops(mode, is_read, p_down, s_down, state)
+    r1, r2, analytic_shed = _run_budget_ledger(cat, analytic)
+
+    # Phase 2: really simulate only the guard-band ops, at their exact
+    # issue instants, through the real client/failover/fault stack.
+    guard_pos = np.flatnonzero(guard)
+
+    def chaser():
+        for i in guard_pos.tolist():
+            t = float(ts[i])
+            if t > env.now:
+                yield env.timeout(t - env.now)
+            env.process(world.one_op(int(idx_arr[i]), int(k_arr[i])))
+
+    if guard_pos.size:
+        env.process(chaser())
+    env.run(until=spec.duration_s + spec.grace_s)
+
+    extra = _fold_analytic(
+        world, spec, minutes, is_read, cat, r1, r2, analytic
+    )
+    mode_result = collect_mode_result(world)
+    mode_result.result.server_attempts += extra["server_attempts"]
+    mode_result.result.shed_retries += analytic_shed
+    mode_result.client_failovers += extra["client_failovers"]
+    return mode_result
+
+
+def _fold_analytic(
+    world: CampaignWorld,
+    spec: CampaignSpec,
+    minutes: np.ndarray,
+    is_read: np.ndarray,
+    cat: np.ndarray,
+    r1: np.ndarray,
+    r2: np.ndarray,
+    analytic: np.ndarray,
+) -> dict:
+    """Solve the stationary windows and batch-ingest every analytic op
+    into the same sinks the event path feeds one op at a time."""
+    rng = world.streams.batched("campaign.fast")
+    ceilings = _backoff_ceilings()
+
+    def backoff_sums(r: np.ndarray) -> np.ndarray:
+        """Full-jitter ladder sums for ``r`` granted retries each."""
+        out = np.zeros(r.size, dtype=float)
+        for j, ceiling in enumerate(ceilings):
+            m = r > j
+            hits = int(m.sum())
+            if hits:
+                out[m] += rng.uniform_batch(0.0, ceiling, hits)
+        return out
+
+    # The stationary solve: the campaign's open-loop trickle behaves as
+    # n_clients closed-loop members thinking ~one op interval, which
+    # lands the solver on the platform's unloaded operating point.
+    model_read = stationary_op_model(
+        "table", "query", size_kb=spec.entity_kb
+    )
+    model_write = stationary_op_model(
+        "table", "insert", size_kb=spec.entity_kb
+    )
+    st_read = solve_stationary(
+        model_read, spec.n_clients, spec.op_interval_s
+    )
+    st_write = solve_stationary(
+        model_write, spec.n_clients, spec.op_interval_s
+    )
+
+    ok_flags = np.isin(cat, _OK_CATS)
+    success_lats: List[np.ndarray] = []
+    giveup_lats: List[np.ndarray] = []
+
+    def draw_direct(
+        mask: np.ndarray, model: Any, st: Any
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stationary-window latency draws for ``mask``'s ops; draws
+        marked failed (timeout tail) are re-flagged as failures."""
+        pos = np.flatnonzero(mask)
+        lat, failed = draw_stationary_latencies(
+            model, st, rng, pos.size, timeout_s=spec.client_timeout_s
+        )
+        if failed.any():
+            ok_flags[pos[failed]] = False
+        return lat, failed
+
+    # Direct successes, reads then writes (fixed draw order).
+    m_read = analytic & (cat == CAT_OK_READ)
+    lat_read, f_read = draw_direct(m_read, model_read, st_read)
+    success_lats.append(lat_read[~f_read])
+    giveup_lats.append(lat_read[f_read])
+
+    m_write = analytic & (cat == CAT_OK_WRITE)
+    lat_write, f_write = draw_direct(m_write, model_write, st_write)
+    success_lats.append(lat_write[~f_write])
+    giveup_lats.append(lat_write[f_write])
+
+    # Cross-replica failover reads: a full failed first pass (each
+    # attempt pays the base-latency stage before the blacked-out
+    # partition refuses it, then a jittered backoff) plus one direct
+    # read on the surviving replica.
+    m_fo = analytic & (cat == CAT_OK_FAILOVER_READ)
+    lat_fo, f_fo = draw_direct(m_fo, model_read, st_read)
+    lat_fo = lat_fo + backoff_sums(r1[m_fo]) + (
+        (r1[m_fo] + 1) * model_read.base_s
+    )
+    success_lats.append(lat_fo[~f_fo])
+    giveup_lats.append(lat_fo[f_fo])
+    client_failovers = int((~f_fo).sum())
+
+    # Give-up latencies for deterministic failures: ladder sums over
+    # both passes plus the base-stage cost of server-reaching attempts
+    # (guard-rejected write passes fail before any service work).
+    base_rw = np.where(is_read, model_read.base_s, model_write.base_s)
+    for c in (CAT_FAIL_READ, CAT_FAIL_WRITE, CAT_FAIL_READONLY,
+              CAT_FAIL_NONE):
+        m = analytic & (cat == c)
+        if not m.any():
+            continue
+        lat = backoff_sums(r1[m])
+        if c != CAT_FAIL_NONE:
+            lat += backoff_sums(r2[m])
+        if c == CAT_FAIL_READ:
+            lat += (r1[m] + r2[m] + 2) * model_read.base_s
+        elif c == CAT_FAIL_WRITE:
+            lat += (r1[m] + 1) * model_write.base_s
+        elif c == CAT_FAIL_NONE:
+            lat += (r1[m] + 1) * base_rw[m]
+        giveup_lats.append(lat)
+
+    # -- batched ingestion into the event path's sinks -----------------
+    registry, avail = world.registry, world.avail
+    ana_ok = ok_flags[analytic]
+    avail.observe_batch(minutes[analytic], ana_ok)
+
+    ok_count = int(ana_ok.sum())
+    fail_count = int(analytic.sum()) - ok_count
+    registry.counter("drill.ok").increment(ok_count)
+    registry.counter("drill.failed").increment(fail_count)
+    registry.counter("drill.retries").increment(
+        int(r1[analytic].sum() + r2[analytic].sum())
+    )
+    success = np.concatenate(success_lats) if success_lats else (
+        np.empty(0)
+    )
+    if success.size:
+        world.latency.observe_batch(success)
+    giveup = np.concatenate(giveup_lats) if giveup_lats else np.empty(0)
+    if giveup.size:
+        registry.tally("drill.give_up_latency").observe_batch(
+            cast(Sequence[float], giveup)
+        )
+
+    # Per-(service, op) windows for the tracer — the same keys the
+    # client stack uses, so request_summary lines up.
+    service = world.primary.tables.name
+    read_ok = ok_flags & is_read & analytic
+    write_ok = ok_flags & ~is_read & analytic
+    read_lat = np.concatenate(
+        [lat_read[~f_read], lat_fo[~f_fo]]
+    )
+    world.tracer.observe_batch(
+        service, "table.query", cast(Sequence[float], read_lat),
+        errors=int((analytic & is_read).sum()) - int(read_ok.sum()),
+        client=True,
+    )
+    world.tracer.observe_batch(
+        service, "table.insert",
+        cast(Sequence[float], lat_write[~f_write]),
+        errors=int((analytic & ~is_read).sum()) - int(write_ok.sum()),
+        client=True,
+    )
+
+    # Server attempts: every server-reaching attempt increments the
+    # partition's ``started`` counter, blacked-out or not;
+    # guard-rejected write passes never reach a server.
+    attempts = int((analytic & (cat == CAT_OK_READ)).sum())
+    attempts += int((analytic & (cat == CAT_OK_WRITE)).sum())
+    attempts += int((r1[m_fo] + 2).sum())
+    m = analytic & (cat == CAT_FAIL_READ)
+    attempts += int((r1[m] + r2[m] + 2).sum())
+    m = analytic & (cat == CAT_FAIL_WRITE)
+    attempts += int((r1[m] + 1).sum())
+    m = analytic & (cat == CAT_FAIL_NONE)
+    attempts += int((r1[m] + 1).sum())
+    return {
+        "server_attempts": attempts,
+        "client_failovers": client_failovers,
+    }
+
+
+__all__ = [
+    "CAT_FAIL_NONE",
+    "CAT_FAIL_READ",
+    "CAT_FAIL_READONLY",
+    "CAT_FAIL_WRITE",
+    "CAT_OK_FAILOVER_READ",
+    "CAT_OK_READ",
+    "CAT_OK_WRITE",
+    "TransitionTimeline",
+    "classify_ops",
+    "default_guard_band_s",
+    "fast_run_mode",
+    "merge_guard_bands",
+    "realize_timeline",
+]

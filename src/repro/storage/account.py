@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Generator, Optional
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.network.flows import FlowNetwork
 from repro.service.tracing import RequestTracer
@@ -163,6 +163,14 @@ class GeoReplicatedAccount:
         #: replication lag at the moment a promotion started.
         self.lost_writes = 0
         self._recent_writes: Deque[float] = deque()
+        #: Every state-machine transition as ``(t, new_state)``, in
+        #: order.  Pure bookkeeping (no events, no RNG): the campaign
+        #: fast-forward kernel replays this timeline to know which
+        #: replica served reads/writes inside each stationary window.
+        self.state_log: List[Tuple[float, str]] = [(env.now, self.state)]
+        #: Optional observer called as ``(t, new_state)`` on every
+        #: transition (after ``state_log`` is appended).
+        self.on_transition: Optional[Callable[[float, str], None]] = None
 
     def __repr__(self) -> str:
         return f"<GeoReplicatedAccount {self.name} state={self.state}>"
@@ -205,6 +213,12 @@ class GeoReplicatedAccount:
         if replica == self.write_replica():
             self.note_write(self.env.now)
 
+    def _set_state(self, state: str) -> None:
+        self.state = state
+        self.state_log.append((self.env.now, state))
+        if self.on_transition is not None:
+            self.on_transition(self.env.now, state)
+
     # -- replication-lag ledger --------------------------------------------
     def note_write(self, now: float) -> None:
         self._prune(now)
@@ -233,10 +247,10 @@ class GeoReplicatedAccount:
         self.lost_writes += self.writes_at_risk(self.env.now)
         self._recent_writes.clear()
         self.failovers += 1
-        self.state = GEO_FAILING_OVER
+        self._set_state(GEO_FAILING_OVER)
         if self.replication.promotion_s > 0:
             yield self.env.timeout(self.replication.promotion_s)
-        self.state = GEO_SECONDARY
+        self._set_state(GEO_SECONDARY)
 
     def failback(self) -> Generator:
         """Return to the (repaired) primary; the reverse promotion."""
@@ -245,10 +259,10 @@ class GeoReplicatedAccount:
         self.lost_writes += self.writes_at_risk(self.env.now)
         self._recent_writes.clear()
         self.failbacks += 1
-        self.state = GEO_FAILING_OVER
+        self._set_state(GEO_FAILING_OVER)
         if self.replication.promotion_s > 0:
             yield self.env.timeout(self.replication.promotion_s)
-        self.state = GEO_PRIMARY
+        self._set_state(GEO_PRIMARY)
 
     # -- automatic mode ----------------------------------------------------
     def start_monitor(

@@ -268,8 +268,12 @@ class _FluidState:
     shed_probability: float
 
 
-def _solve_fixed_point(
-    model: _FluidOpModel, n: float, think_s: float
+def solve_stationary(
+    model: _FluidOpModel,
+    n: float,
+    think_s: float,
+    capacity_factor: float = 1.0,
+    replicas: int = 1,
 ) -> _FluidState:
     """Close the loop: response time <-> concurrency for ``n`` members.
 
@@ -278,7 +282,24 @@ def _solve_fixed_point(
     stage costs (front-end curve, M/M/c CPU wait, M/M/1 latch wait,
     bandwidth-shared transfer) give ``R`` back from ``A``.  Damped
     iteration converges in a few dozen rounds for every calibrated op.
+
+    ``capacity_factor`` is the surviving fraction of server capacity
+    inside a degraded stationary window (a campaign fault that takes
+    half a service's partition servers leaves ``0.5``): it scales CPU
+    cores, front-end/transfer bandwidth, the latch service rate and the
+    overload knee together, so utilization terms see ``1/capacity``
+    amplified load.  ``replicas`` splits the offered population across
+    that many identical replicas (geo read-spread); each is solved at
+    ``n / replicas``.  The defaults are arithmetic identities (``x/1.0``
+    and ``x*1.0`` are exact), so the cohort driver's pinned fixed points
+    are bit-unchanged.
     """
+    if capacity_factor <= 0:
+        raise ValueError("capacity_factor must be > 0")
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    cf = float(capacity_factor)
+    n = float(n) / replicas
     base_mean = model.base_s  # fixed + Exp(jitter) has mean == base_s
     response = base_mean + model.cpu_s + model.exclusive_s + 1e-9
     active = min(float(n), 1.0)
@@ -289,30 +310,32 @@ def _solve_fixed_point(
         active = 0.5 * active + 0.5 * active_new
 
         frontend = 0.0
-        if model.frontend_c_s > 0 and active > 1.0:
-            frontend = model.frontend_c_s * active**model.frontend_gamma
+        if model.frontend_c_s > 0 and active / cf > 1.0:
+            frontend = model.frontend_c_s * (active / cf) ** (
+                model.frontend_gamma
+            )
 
         cpu_wait = 0.0
         if model.cpu_s > 0:
             rho = min(
-                throughput * model.cpu_s / model.cores, 0.999
+                throughput * model.cpu_s / (model.cores * cf), 0.999
             )
             # M/M/c wait, collapsed to the heavy-traffic form the
             # partition server's exponential service times justify.
-            cpu_wait = (model.cpu_s / model.cores) * (
-                rho ** math.sqrt(2.0 * (model.cores + 1))
+            cpu_wait = (model.cpu_s / (model.cores * cf)) * (
+                rho ** math.sqrt(2.0 * (model.cores * cf + 1))
             ) / (1.0 - rho)
 
         latch_wait = 0.0
         if model.exclusive_s > 0:
-            rho_l = min(throughput * model.exclusive_s, 0.999)
+            rho_l = min(throughput * model.exclusive_s / cf, 0.999)
             latch_wait = model.exclusive_s * rho_l / (1.0 - rho_l)
 
         transfer = 0.0
         if model.transfer_mb > 0:
-            share = model.transfer_a_mbps * max(active, 1.0) ** (
-                -model.transfer_gamma
-            )
+            share = (model.transfer_a_mbps * cf) * max(
+                active / cf, 1.0
+            ) ** (-model.transfer_gamma)
             transfer = model.transfer_mb / share
 
         response_new = (
@@ -331,7 +354,7 @@ def _solve_fixed_point(
 
     shed = 0.0
     if model.payload_mb > 0 and model.overload_slope_per_mb > 0:
-        excess = active * model.payload_mb - model.overload_knee_mb
+        excess = active * model.payload_mb - model.overload_knee_mb * cf
         if excess > 0:
             shed = min(model.overload_slope_per_mb * excess, 0.5)
     return _FluidState(
@@ -343,6 +366,71 @@ def _solve_fixed_point(
         transfer_s=transfer,
         shed_probability=shed,
     )
+
+
+def _solve_fixed_point(
+    model: _FluidOpModel, n: float, think_s: float
+) -> _FluidState:
+    """The cohort driver's full-capacity, single-replica fixed point."""
+    return solve_stationary(model, n, think_s)
+
+
+def stationary_op_model(
+    service: str, op: str, size_kb: float = 1.0, size_mb: float = 1.0
+) -> _FluidOpModel:
+    """The calibration-derived cost model of one ``(service, op)``,
+    without needing a full :class:`CohortSpec` — the entry point the
+    campaign fast-forward kernel uses to price stationary windows."""
+    return _FluidOpModel.from_spec(
+        CohortSpec(
+            service=service, op=op, n_clients=1,
+            size_kb=size_kb, size_mb=size_mb,
+        )
+    )
+
+
+def draw_stationary_latencies(
+    model: _FluidOpModel,
+    state: _FluidState,
+    rng,
+    k: int,
+    timeout_s: Optional[float] = None,
+):
+    """Vectorized per-request latency draws for one stationary window.
+
+    Stage by stage, the same shape as the event-level path —
+    deterministic floor + exponential jitter + exponential stage times —
+    in the exact draw order the batched cohort driver uses (that driver
+    calls this helper, so the order is pinned by its bit-identity
+    tests).  Returns ``(latencies, failed)``: overload shedding and the
+    client-side timeout clamp mark failures, exactly as the driver
+    aborts members.
+    """
+    lat = model.base_s * model.fixed_frac + rng.exponential_batch(
+        model.base_s * model.jitter_frac, k
+    )
+    if state.frontend_mean_s > 0:
+        lat += rng.exponential_batch(state.frontend_mean_s, k)
+    if model.cpu_s > 0:
+        lat += rng.exponential_batch(model.cpu_s, k)
+    if state.cpu_wait_s > 1e-12:
+        lat += rng.exponential_batch(state.cpu_wait_s, k)
+    if model.exclusive_s > 0:
+        lat += rng.exponential_batch(model.exclusive_s, k)
+    if state.latch_wait_s > 1e-12:
+        lat += rng.exponential_batch(state.latch_wait_s, k)
+    if state.transfer_s > 0:
+        lat += state.transfer_s
+
+    failed = np.zeros(k, dtype=bool)
+    if state.shed_probability > 0:
+        failed |= (
+            rng.uniform_batch(0.0, 1.0, k) < state.shed_probability
+        )
+    if timeout_s is not None:
+        failed |= lat > timeout_s
+        lat = np.minimum(lat, timeout_s)
+    return lat, failed
 
 
 # -- batched (fluid) driver -------------------------------------------------
@@ -414,37 +502,12 @@ def _run_cohort_batched(
                 )
                 solved_for = remaining
 
-            # Vectorized per-request latency draw, stage by stage —
-            # the same shape as the event-level path: deterministic
-            # floor + exponential jitter + exponential stage times.
-            lat = model.base_s * model.fixed_frac + lat_rng.exponential_batch(
-                model.base_s * model.jitter_frac, k
+            # Vectorized per-request latency draw + failure marks
+            # (overload shed, client-timeout clamp) — the shared
+            # stationary sampler, in the pinned stage-draw order.
+            lat, failed = draw_stationary_latencies(
+                model, state, lat_rng, k, timeout_s=spec.timeout_s
             )
-            if state.frontend_mean_s > 0:
-                lat += lat_rng.exponential_batch(state.frontend_mean_s, k)
-            if model.cpu_s > 0:
-                lat += lat_rng.exponential_batch(model.cpu_s, k)
-            if state.cpu_wait_s > 1e-12:
-                lat += lat_rng.exponential_batch(state.cpu_wait_s, k)
-            if model.exclusive_s > 0:
-                lat += lat_rng.exponential_batch(model.exclusive_s, k)
-            if state.latch_wait_s > 1e-12:
-                lat += lat_rng.exponential_batch(state.latch_wait_s, k)
-            if state.transfer_s > 0:
-                lat += state.transfer_s
-
-            # Failures: overload shedding (server timeout) and the
-            # client-side operation timeout both abort the member,
-            # exactly as measured_loop aborts on first exception.
-            failed = np.zeros(k, dtype=bool)
-            if state.shed_probability > 0:
-                failed |= (
-                    lat_rng.uniform_batch(0.0, 1.0, k)
-                    < state.shed_probability
-                )
-            if spec.timeout_s is not None:
-                failed |= lat > spec.timeout_s
-                lat = np.minimum(lat, spec.timeout_s)
 
             ok = ~failed
             n_ok = int(ok.sum())
@@ -752,6 +815,9 @@ __all__ = [
     "EXACT_MAX_CLIENTS",
     "CohortResult",
     "CohortSpec",
+    "draw_stationary_latencies",
     "run_cohort",
+    "solve_stationary",
+    "stationary_op_model",
     "sweep_cohort",
 ]

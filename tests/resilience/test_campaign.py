@@ -143,3 +143,22 @@ def test_different_seed_changes_the_world():
     b = run_campaign(day_campaign_spec(seed=8, scale=0.1),
                      modes=["automatic"])
     assert a.to_dict() != b.to_dict()
+
+
+# -- process-pool grid fan-out -----------------------------------------------
+
+def test_mode_grid_fans_out_bit_identical(day_report):
+    """One cell = one (scenario, mode) world: pooled execution must be
+    byte-for-byte the serial report (including the pickled registries
+    the SLO engine reads back in the parent)."""
+    pooled = run_campaign(
+        day_campaign_spec(seed=3, scale=0.25), jobs=2
+    )
+    assert pooled.to_dict() == day_report.to_dict()
+
+
+def test_single_mode_grid_skips_the_pool():
+    spec = day_campaign_spec(seed=7, scale=0.1)
+    serial = run_campaign(spec, modes=["automatic"], jobs=1)
+    pooled = run_campaign(spec, modes=["automatic"], jobs=4)
+    assert pooled.to_dict() == serial.to_dict()

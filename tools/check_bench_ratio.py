@@ -48,6 +48,7 @@ DEFAULT_GATES = (
     "flow_churn_flows_per_s",
     "timeout_churn_events_per_s",
     "cohort_churn_clients_per_s",
+    "campaign_horizon_cells_per_s",
 )
 
 #: The historical block the ratchet gate holds the kernel to.
@@ -60,6 +61,10 @@ DEFAULT_BASELINE_GATES = (
     "timeout_churn_events_per_s",
     "resource_churn_ops_per_s",
     "race_churn_ops_per_s",
+    # Ratcheted from the first baseline_* block that records it (0.95
+    # floor); warn-and-skipped against older blocks, which predate the
+    # fast-forward driver.
+    "campaign_horizon_cells_per_s",
 )
 
 
@@ -129,8 +134,14 @@ def main() -> int:
         print(f"\nratchet vs {args.baseline} "
               f"(machine-normalized, floor {args.baseline_floor:.2f}):")
         for key in args.baseline_gate:
-            if key not in measured or not baseline.get(key):
-                print(f"  {key:32s} missing from snapshot or baseline")
+            if not baseline.get(key):
+                # A metric added after the baseline block was recorded
+                # (e.g. campaign_horizon_cells_per_s) has no historical
+                # rate to ratchet against: warn and skip, don't fail.
+                print(f"  {key:32s} absent from baseline; skipped")
+                continue
+            if key not in measured:
+                print(f"  {key:32s} missing from snapshot")
                 failed.append(key)
                 continue
             # measured/median ~ the rate this run would have scored on
