@@ -12,6 +12,10 @@ Usage::
     python -m repro campaign day --modes none,automatic
     python -m repro trace --out trace.json [--fmt chrome|jsonl|waterfall]
     python -m repro slo [--availability 0.99] [--latency-ms 500]
+    python -m repro scenario list
+    python -m repro scenario describe block-storage
+    python -m repro scenario run streaming [--clients 10000] [--json out.json]
+    python -m repro scenario run --file my_pack.toml [--levels 2,8,32]
 """
 
 from __future__ import annotations
@@ -395,6 +399,137 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _scenario_spec(args: argparse.Namespace):
+    """Resolve the spec named/filed on the command line (or exit 2)."""
+    from repro.scenarios import (
+        ScenarioValidationError,
+        get_scenario,
+        load_scenario_file,
+    )
+
+    try:
+        if args.file:
+            spec, _ = load_scenario_file(args.file)
+        elif args.name:
+            spec = get_scenario(args.name)
+        else:
+            print(
+                "scenario run/describe needs a NAME or --file PATH",
+                file=sys.stderr,
+            )
+            return None
+    except (ScenarioValidationError, KeyError, OSError) as exc:
+        print(f"bad scenario: {exc}", file=sys.stderr)
+        return None
+    if args.scale != 1.0:
+        spec = spec.scaled(args.scale)
+    return spec
+
+
+def _print_scenario_summary(doc) -> None:
+    print(
+        f"scenario {doc['scenario']} ({doc['mode']} driver, "
+        f"seed {doc['seed']}): {doc['n_clients']:,} clients"
+    )
+    for key in (
+        "makespan_s", "ops_completed", "errors", "failed_clients",
+        "aggregate_ops_per_s", "latency_mean_s", "latency_p50_s",
+        "latency_p99_s",
+    ):
+        print(f"  {key:20s} {doc[key]:>16,.4f}")
+    for op, row in doc["per_op"].items():
+        print(
+            f"  {op:20s} ops={row['ops']:,.0f} errors={row['errors']:,.0f} "
+            f"mean={row['latency_mean_s'] * 1000:.1f}ms "
+            f"p99={row['latency_p99_s'] * 1000:.1f}ms"
+        )
+    if "windows" in doc:
+        w = doc["windows"]
+        print(
+            f"  windows              {w['count']} "
+            f"(expected {w['expected_ops']:,.0f} ops, "
+            f"observed {w['ops']:,} + {w['errors']:,} errors)"
+        )
+    if "skew" in doc:
+        s = doc["skew"]
+        print(
+            f"  skew                 {s['partitions']:.0f} partitions, "
+            f"theta={s['theta']}, top share {s['top_share']:.3f}, "
+            f"effective {s['effective_partitions']:.1f}"
+        )
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        get_scenario,
+        list_scenarios,
+        run_scenario,
+        scenario_source,
+        scenario_to_dict,
+        sweep_scenario,
+    )
+
+    if args.action == "list":
+        print(
+            f"{'name':22s}  {'source':20s}  {'arrival':8s}  "
+            f"{'clients':>8s}  title"
+        )
+        for name in list_scenarios():
+            spec = get_scenario(name)
+            source = scenario_source(name)
+            if source != "builtin":
+                from pathlib import Path
+
+                source = Path(source).name
+            print(
+                f"{name:22s}  {source:20s}  "
+                f"{spec.arrival.kind:8s}  {spec.n_clients:>8,d}  "
+                f"{spec.title or spec.description}"
+            )
+        return 0
+
+    spec = _scenario_spec(args)
+    if spec is None:
+        return 2
+
+    if args.action == "describe":
+        import json
+
+        print(json.dumps(scenario_to_dict(spec), indent=2, sort_keys=True))
+        return 0
+
+    # run
+    exported = None
+    start = time.time()
+    if args.levels:
+        levels = [int(v) for v in args.levels.split(",") if v.strip()]
+        runs = sweep_scenario(
+            spec, levels=levels, seed=args.seed, mode=args.mode,
+            jobs=args.jobs,
+        )
+        exported = {
+            "scenario": spec.name,
+            "levels": {str(n): r.summary() for n, r in runs.items()},
+        }
+        for n, run in runs.items():
+            _print_scenario_summary(run.summary())
+            print()
+    else:
+        run = run_scenario(
+            spec, n_clients=args.clients, seed=args.seed, mode=args.mode
+        )
+        exported = run.summary()
+        _print_scenario_summary(exported)
+    print(f"  (finished in {time.time() - start:.2f}s wall-clock)")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(exported, fh, indent=2, sort_keys=True)
+        print(f"wrote machine-readable scenario summary to {args.json}")
+    return 0
+
+
 def _cmd_calibration(_args: argparse.Namespace) -> int:
     from repro.calibration import CalibrationSummary
 
@@ -655,6 +790,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the machine-readable SLO report to this file",
     )
     p_slo.set_defaults(func=_cmd_slo)
+
+    p_scenario = sub.add_parser(
+        "scenario",
+        help=(
+            "list/describe/run declarative ScenarioSpec workloads "
+            "(registered figure scenarios + trace-shaped packs)"
+        ),
+    )
+    p_scenario.add_argument(
+        "action", choices=["list", "describe", "run"],
+        help=(
+            "list = registered scenarios; describe = dump one spec as "
+            "JSON; run = execute one through the unified driver"
+        ),
+    )
+    p_scenario.add_argument(
+        "name", nargs="?", default=None,
+        help="registered scenario name (see 'scenario list')",
+    )
+    p_scenario.add_argument(
+        "--file", metavar="PATH", default=None,
+        help="load the spec from a TOML/JSON pack file instead of the registry",
+    )
+    p_scenario.add_argument(
+        "--clients", type=int, default=None, metavar="N",
+        help="override the spec's population size",
+    )
+    p_scenario.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed (default: the spec's recorded seed)",
+    )
+    p_scenario.add_argument(
+        "--mode", choices=["auto", "exact", "batched"], default="auto",
+        help=(
+            "auto = exact per-client simulation up to "
+            "256 clients, batched population dynamics beyond"
+        ),
+    )
+    p_scenario.add_argument(
+        "--scale", type=float, default=1.0,
+        help=(
+            "cheaper copy of the spec: scales the open-arrival horizon "
+            "or the per-phase op counts (1.0 = as written)"
+        ),
+    )
+    p_scenario.add_argument(
+        "--levels", metavar="N1,N2", default=None,
+        help=(
+            "sweep these comma-separated population sizes instead of a "
+            "single run (per-level trials fan across --jobs workers)"
+        ),
+    )
+    p_scenario.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "worker processes for --levels sweeps (1 = in-process; "
+            "results are bit-identical for any value)"
+        ),
+    )
+    p_scenario.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the machine-readable summary to this JSON file",
+    )
+    p_scenario.set_defaults(func=_cmd_scenario)
 
     p_cal = sub.add_parser(
         "calibration", help="print the paper-anchored constants"

@@ -29,6 +29,15 @@ GOLDEN_EXPERIMENTS = (
     "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2",
 )
 
+#: Scenario packs whose batched-mode summaries are pinned alongside the
+#: figure experiments.  Ids are ``scenario:<registered name>``; the run
+#: uses ``spec.scaled(scale)`` so CI stays fast while the full-size pack
+#: remains the documented workload.
+GOLDEN_SCENARIOS = (
+    "scenario:block-storage",
+    "scenario:streaming",
+)
+
 
 def canonical_data(value):
     """Coerce report data (enum keys, tuples, numpy scalars) to plain
@@ -52,22 +61,54 @@ def digest_report(report) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def digest_scenario(
+    name: str, scale: float = GOLDEN_SCALE, seed: int = GOLDEN_SEED
+) -> str:
+    """SHA-256 of a registered scenario's batched-run summary.
+
+    The scenario runs at ``spec.scaled(scale)`` in batched mode (the
+    mode CI exercises for the 10^4-client packs), and the digest covers
+    the full ``summary()`` document — window counts, per-op latency
+    columns, skew block — at repr float precision.
+    """
+    from repro.scenarios import get_scenario, run_scenario
+
+    spec = get_scenario(name).scaled(scale)
+    result = run_scenario(spec, seed=seed, mode="batched")
+    payload = json.dumps(
+        canonical_data(result.summary()), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def collect_digests(
     experiment_ids: Optional[Sequence[str]] = None,
     scale: float = GOLDEN_SCALE,
     seed: int = GOLDEN_SEED,
     jobs: Optional[int] = 1,
 ) -> Dict[str, str]:
-    """Run each experiment and return ``{experiment_id: digest}``."""
+    """Run each experiment/scenario and return ``{id: digest}``.
+
+    Ids of the form ``scenario:<name>`` digest the named registered
+    scenario via :func:`digest_scenario`; every other id is an
+    experiment-registry id.
+    """
     from repro.experiments.registry import run_experiment
 
-    ids: Iterable[str] = experiment_ids or GOLDEN_EXPERIMENTS
-    return {
-        eid: digest_report(
-            run_experiment(eid, scale=scale, seed=seed, jobs=jobs)
-        )
-        for eid in ids
-    }
+    ids: Iterable[str] = (
+        experiment_ids or GOLDEN_EXPERIMENTS + GOLDEN_SCENARIOS
+    )
+    out: Dict[str, str] = {}
+    for eid in ids:
+        if eid.startswith("scenario:"):
+            out[eid] = digest_scenario(
+                eid.split(":", 1)[1], scale=scale, seed=seed
+            )
+        else:
+            out[eid] = digest_report(
+                run_experiment(eid, scale=scale, seed=seed, jobs=jobs)
+            )
+    return out
 
 
 def load_digest_file(path: Union[str, Path]) -> Dict[str, object]:

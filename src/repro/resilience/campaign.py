@@ -103,6 +103,22 @@ class CampaignSpec:
     def ops_per_client(self) -> int:
         return int(self.duration_s / self.op_interval_s)
 
+    def with_scenario_mix(self, scenario: Any) -> "CampaignSpec":
+        """A copy whose op mix is derived from a
+        :class:`~repro.scenarios.spec.ScenarioSpec` (duck-typed):
+        ``read_fraction`` becomes the scenario's weight-share of read
+        ops and ``entity_kb`` its weight-averaged table/queue payload —
+        so a trace-shaped scenario pack can drive a month-scale
+        availability campaign without re-stating its mix.
+        """
+        from dataclasses import replace
+
+        return replace(
+            self,
+            read_fraction=float(scenario.read_fraction()),
+            entity_kb=float(scenario.mean_entity_kb()),
+        )
+
     def in_window(self, t: float) -> bool:
         return any(
             f.start_s <= t < f.start_s + (f.duration_s or (f.mttr_s or 0.0))

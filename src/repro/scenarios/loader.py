@@ -1,0 +1,412 @@
+"""Scenario config files: TOML/JSON -> :class:`ScenarioSpec`.
+
+A scenario pack is a small config file — the ROADMAP's "new scenario =
+config file plus a golden digest" contract.  The document shape (same
+keys in TOML and JSON)::
+
+    [scenario]            # name, population, horizon, flags
+    [arrival]             # closed | poisson | mmpp (+ diurnal fields)
+    [skew]                # optional Zipf partition router
+    [link]                # optional lossy last-mile profile
+    [[ops]]               # one table per weighted operation
+
+TOML parsing uses :mod:`tomllib` where available (Python >= 3.11) and
+falls back to a small built-in subset parser (tables, arrays of tables,
+scalars, flat arrays, single-level inline tables) elsewhere — enough
+for every shipped pack, with no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on 3.9/3.10 only
+    tomllib = None  # type: ignore[assignment]
+
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    LinkSpec,
+    OpSpec,
+    PhaseSpec,
+    ScenarioSpec,
+    ScenarioValidationError,
+    SkewSpec,
+    dist_from_dict,
+    dist_to_dict,
+)
+
+# -- minimal TOML subset ---------------------------------------------------
+
+
+def _parse_scalar(token: str) -> Any:
+    token = token.strip()
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_scalar(part) for part in _split_top(inner)]
+    if token.startswith("{") and token.endswith("}"):
+        out: Dict[str, Any] = {}
+        inner = token[1:-1].strip()
+        if inner:
+            for part in _split_top(inner):
+                key, _, value = part.partition("=")
+                if not _:
+                    raise ScenarioValidationError(
+                        f"bad inline-table entry {part!r}"
+                    )
+                out[key.strip()] = _parse_scalar(value)
+        return out
+    try:
+        if any(c in token for c in ".eE") and not token.startswith("0x"):
+            return float(token)
+        return int(token)
+    except ValueError:
+        raise ScenarioValidationError(
+            f"unparseable TOML value {token!r}"
+        ) from None
+
+
+def _split_top(text: str) -> List[str]:
+    """Split on commas at bracket/quote depth zero."""
+    parts: List[str] = []
+    depth = 0
+    quoted = False
+    current = ""
+    for ch in text:
+        if ch == '"':
+            quoted = not quoted
+        elif not quoted and ch in "[{":
+            depth += 1
+        elif not quoted and ch in "]}":
+            depth -= 1
+        if ch == "," and depth == 0 and not quoted:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def _strip_comment(line: str) -> str:
+    quoted = False
+    for i, ch in enumerate(line):
+        if ch == '"':
+            quoted = not quoted
+        elif ch == "#" and not quoted:
+            return line[:i]
+    return line
+
+
+def parse_toml_minimal(text: str) -> Dict[str, Any]:
+    """Parse the TOML subset scenario packs use (fallback path)."""
+    root: Dict[str, Any] = {}
+    target = root
+    for raw in text.splitlines():
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            name = line[2:-2].strip()
+            target = {}
+            root.setdefault(name, []).append(target)
+        elif line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            target = root.setdefault(name, {})
+        else:
+            key, sep, value = line.partition("=")
+            if not sep:
+                raise ScenarioValidationError(
+                    f"unparseable TOML line {raw!r}"
+                )
+            target[key.strip()] = _parse_scalar(value)
+    return root
+
+
+def parse_toml(text: str) -> Dict[str, Any]:
+    if tomllib is not None:
+        return tomllib.loads(text)
+    return parse_toml_minimal(text)
+
+
+# -- dict <-> spec ---------------------------------------------------------
+
+
+def _op_from_dict(obj: Dict[str, Any]) -> OpSpec:
+    if not isinstance(obj, dict):
+        raise ScenarioValidationError(f"op entry must be a table: {obj!r}")
+    for key in ("service", "op"):
+        if key not in obj:
+            raise ScenarioValidationError(f"op entry missing {key!r}")
+    return OpSpec(
+        service=str(obj["service"]),
+        op=str(obj["op"]),
+        weight=float(obj.get("weight", 1.0)),
+        size_kb=(
+            dist_from_dict(obj["size_kb"]) if "size_kb" in obj else None
+        ),
+        size_mb=(
+            dist_from_dict(obj["size_mb"]) if "size_mb" in obj else None
+        ),
+        visibility_timeout_s=(
+            float(obj["visibility_timeout_s"])
+            if obj.get("visibility_timeout_s") is not None
+            else None
+        ),
+        retry=str(obj.get("retry", "none")),
+    )
+
+
+def _arrival_from_dict(obj: Optional[Dict[str, Any]]) -> ArrivalSpec:
+    if obj is None:
+        return ArrivalSpec()
+    known = {
+        "kind", "think", "rate_hz", "burst_multiplier", "burst_fraction",
+        "burst_dwell_s", "diurnal_amplitude", "diurnal_period_s",
+        "diurnal_phase_s",
+    }
+    unknown = set(obj) - known
+    if unknown:
+        raise ScenarioValidationError(
+            f"unknown arrival fields {sorted(unknown)}"
+        )
+    kwargs: Dict[str, Any] = {
+        k: obj[k] for k in known if k in obj and k != "think"
+    }
+    if obj.get("think") is not None:
+        kwargs["think"] = dist_from_dict(obj["think"])
+    return ArrivalSpec(**kwargs)
+
+
+def scenario_from_dict(doc: Dict[str, Any]) -> ScenarioSpec:
+    """Build and validate a :class:`ScenarioSpec` from a parsed config
+    document (the TOML/JSON shape described in the module docstring)."""
+    if not isinstance(doc, dict):
+        raise ScenarioValidationError("config document must be a table")
+    header = doc.get("scenario")
+    if not isinstance(header, dict):
+        raise ScenarioValidationError("config needs a [scenario] table")
+    ops_raw = doc.get("ops")
+    phases_raw = doc.get("phases")
+    if phases_raw is not None:
+        # Multi-phase form (scenario_to_dict emits it for e.g. the
+        # fig2 four-phase protocol); config files normally stay flat.
+        if ops_raw is not None:
+            raise ScenarioValidationError(
+                "config may carry 'ops' or 'phases', not both"
+            )
+        if not isinstance(phases_raw, list) or not phases_raw:
+            raise ScenarioValidationError("'phases' must be a non-empty list")
+        for ph in phases_raw:
+            if not isinstance(ph, dict):
+                raise ScenarioValidationError(
+                    f"phase entry must be a table: {ph!r}"
+                )
+        phases = tuple(
+            PhaseSpec(
+                name=str(ph.get("name", f"phase{i}")),
+                ops=tuple(_op_from_dict(o) for o in ph.get("ops") or ()),
+                ops_per_client=int(ph.get("ops_per_client", 1)),
+            )
+            for i, ph in enumerate(phases_raw)
+        )
+    else:
+        if not isinstance(ops_raw, list) or not ops_raw:
+            raise ScenarioValidationError(
+                "config needs at least one [[ops]] entry"
+            )
+        phases = (
+            PhaseSpec(
+                name=str(header.get("phase_name", "main")),
+                ops=tuple(_op_from_dict(o) for o in ops_raw),
+                ops_per_client=int(header.get("ops_per_client", 1)),
+            ),
+        )
+    skew = None
+    if doc.get("skew") is not None:
+        skew = SkewSpec(
+            partitions=int(doc["skew"].get("partitions", 1)),
+            theta=float(doc["skew"].get("theta", 0.99)),
+        )
+    link = None
+    if doc.get("link") is not None:
+        link = LinkSpec(
+            profile=str(doc["link"].get("profile", "custom")),
+            extra_latency_ms=float(doc["link"].get("extra_latency_ms", 0.0)),
+            bandwidth_mbps=(
+                float(doc["link"]["bandwidth_mbps"])
+                if doc["link"].get("bandwidth_mbps") is not None
+                else None
+            ),
+            loss_rate=float(doc["link"].get("loss_rate", 0.0)),
+            retransmit_penalty_ms=float(
+                doc["link"].get("retransmit_penalty_ms", 200.0)
+            ),
+            max_retransmits=int(doc["link"].get("max_retransmits", 5)),
+        )
+    return ScenarioSpec(
+        name=str(header["name"]) if "name" in header else "",
+        title=str(header.get("title", "")),
+        description=str(header.get("description", "")),
+        phases=phases,
+        arrival=_arrival_from_dict(doc.get("arrival")),
+        skew=skew,
+        link=link,
+        n_clients=int(header.get("n_clients", 4)),
+        levels=tuple(int(v) for v in header.get("levels", ())),
+        ramp_s=float(header.get("ramp_s", 0.0)),
+        duration_s=(
+            float(header["duration_s"])
+            if header.get("duration_s") is not None
+            else None
+        ),
+        window_s=float(header.get("window_s", 60.0)),
+        timeout_s=(
+            float(header["timeout_s"])
+            if header.get("timeout_s") is not None
+            else None
+        ),
+        abort_on_error=bool(header.get("abort_on_error", True)),
+        queue_prefill=(
+            int(header["queue_prefill"])
+            if header.get("queue_prefill") is not None
+            else None
+        ),
+        default_seed=int(header.get("seed", 0)),
+        tags=tuple(str(t) for t in header.get("tags", ())),
+    )
+
+
+def scenario_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """The JSON-able document form of a spec (CLI ``describe --json``,
+    tests' round-trip check).  Multi-phase specs serialise their phases
+    under ``"phases"``; single-phase specs use the flat config shape."""
+    header: Dict[str, Any] = {
+        "name": spec.name,
+        "title": spec.title,
+        "description": spec.description,
+        "n_clients": spec.n_clients,
+        "ramp_s": spec.ramp_s,
+        "window_s": spec.window_s,
+        "abort_on_error": spec.abort_on_error,
+        "seed": spec.default_seed,
+        "tags": list(spec.tags),
+    }
+    if spec.levels:
+        header["levels"] = list(spec.levels)
+    if spec.duration_s is not None:
+        header["duration_s"] = spec.duration_s
+    if spec.timeout_s is not None:
+        header["timeout_s"] = spec.timeout_s
+    if spec.queue_prefill is not None:
+        header["queue_prefill"] = spec.queue_prefill
+
+    def op_dict(op: OpSpec) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "service": op.service, "op": op.op, "weight": op.weight,
+            "retry": op.retry,
+        }
+        if op.size_kb is not None:
+            out["size_kb"] = dist_to_dict(op.size_kb)
+        if op.size_mb is not None:
+            out["size_mb"] = dist_to_dict(op.size_mb)
+        if op.visibility_timeout_s is not None:
+            out["visibility_timeout_s"] = op.visibility_timeout_s
+        return out
+
+    doc: Dict[str, Any] = {"scenario": header}
+    arrival: Dict[str, Any] = {
+        "kind": spec.arrival.kind,
+    }
+    if spec.arrival.think is not None:
+        arrival["think"] = dist_to_dict(spec.arrival.think)
+    if spec.arrival.is_open:
+        arrival["rate_hz"] = spec.arrival.rate_hz
+    if spec.arrival.kind == "mmpp":
+        arrival.update(
+            burst_multiplier=spec.arrival.burst_multiplier,
+            burst_fraction=spec.arrival.burst_fraction,
+            burst_dwell_s=spec.arrival.burst_dwell_s,
+        )
+    if spec.arrival.diurnal_amplitude:
+        arrival.update(
+            diurnal_amplitude=spec.arrival.diurnal_amplitude,
+            diurnal_period_s=spec.arrival.diurnal_period_s,
+            diurnal_phase_s=spec.arrival.diurnal_phase_s,
+        )
+    doc["arrival"] = arrival
+    if spec.skew is not None:
+        doc["skew"] = {
+            "partitions": spec.skew.partitions, "theta": spec.skew.theta,
+        }
+    if spec.link is not None:
+        link: Dict[str, Any] = {
+            "profile": spec.link.profile,
+            "extra_latency_ms": spec.link.extra_latency_ms,
+            "loss_rate": spec.link.loss_rate,
+            "retransmit_penalty_ms": spec.link.retransmit_penalty_ms,
+            "max_retransmits": spec.link.max_retransmits,
+        }
+        if spec.link.bandwidth_mbps is not None:
+            link["bandwidth_mbps"] = spec.link.bandwidth_mbps
+        doc["link"] = link
+    if len(spec.phases) == 1:
+        header["phase_name"] = spec.phases[0].name
+        header["ops_per_client"] = spec.phases[0].ops_per_client
+        doc["ops"] = [op_dict(op) for op in spec.phases[0].ops]
+    else:
+        doc["phases"] = [
+            {
+                "name": ph.name,
+                "ops_per_client": ph.ops_per_client,
+                "ops": [op_dict(op) for op in ph.ops],
+            }
+            for ph in spec.phases
+        ]
+    return doc
+
+
+def load_scenario_file(path: Union[str, Path]) -> Tuple[ScenarioSpec, str]:
+    """Load one config file; returns ``(spec, format)``.
+
+    The format is inferred from the suffix (``.toml``/``.json``).
+    Raises :class:`ScenarioValidationError` on parse or validation
+    failures, with the file name in the message.
+    """
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise ScenarioValidationError(f"cannot read {p}: {exc}") from exc
+    try:
+        if p.suffix == ".json":
+            doc = json.loads(text)
+            fmt = "json"
+        elif p.suffix == ".toml":
+            doc = parse_toml(text)
+            fmt = "toml"
+        else:
+            raise ScenarioValidationError(
+                f"{p}: unknown config suffix {p.suffix!r} "
+                "(expected .toml or .json)"
+            )
+        spec = scenario_from_dict(doc)
+    except ScenarioValidationError as exc:
+        raise ScenarioValidationError(f"{p.name}: {exc}") from None
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise ScenarioValidationError(f"{p.name}: {exc}") from None
+    if not spec.name:
+        raise ScenarioValidationError(f"{p.name}: scenario name missing")
+    return spec, fmt

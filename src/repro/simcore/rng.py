@@ -212,7 +212,13 @@ class Distribution:
             total = float(sum(weights))
             if total <= 0:
                 raise ValueError("weights must sum to > 0")
-            wts = tuple(float(w) / total for w in weights)
+            if abs(total - 1.0) <= 1e-9:
+                # Already normalized (within numpy's own tolerance for
+                # probability vectors): keep the weights bit-for-bit so
+                # spec round-trips are stable.
+                wts = tuple(float(w) for w in weights)
+            else:
+                wts = tuple(float(w) / total for w in weights)
         dist = cls.__new__(cls)
         dist.kind = "empirical"
         dist.params = {"values": vals, "weights": wts}  # type: ignore[assignment]

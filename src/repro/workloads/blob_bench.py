@@ -5,10 +5,11 @@ download the *same* 1 GB blob (download test) or upload 1 GB each under
 *distinct* names into the same container (upload test); report average
 per-client bandwidth and the aggregate service-side throughput.
 
-Runs on the unified harness in :mod:`repro.workloads.harness`
-(:func:`~repro.workloads.harness.run_clients` /
-:func:`~repro.workloads.harness.sweep`), like the table and queue
-benches.
+Since the scenario-registry refactor this module is a thin
+compatibility wrapper: the workload itself is the registered
+``fig1-blob-{download,upload}`` scenario, executed by the unified
+driver in :mod:`repro.scenarios.driver` (byte-identical replay of the
+historical hand-written client procs — pinned by the golden digests).
 """
 
 from __future__ import annotations
@@ -17,13 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro import calibration as cal
-from repro.client import BlobClient
-from repro.workloads.harness import (
-    Platform,
-    build_platform,
-    run_clients,
-    sweep,
-)
+from repro.workloads.harness import Platform, sweep
 
 
 @dataclass
@@ -58,24 +53,20 @@ def run_blob_test(
         raise ValueError(f"direction must be download/upload, got {direction!r}")
     if n_clients < 1:
         raise ValueError("n_clients must be >= 1")
-    p = platform or build_platform(seed=seed, n_clients=n_clients)
-    blob_svc = p.account.blobs
-    blob_svc.create_container("bench")
-    if direction == "download":
-        blob_svc.seed_blob("bench", "shared-1gb", size_mb)
+    # Imported lazily: repro.scenarios and repro.workloads import each
+    # other's submodules, so neither package init may need the other.
+    from repro.scenarios.driver import run_scenario
+    from repro.scenarios.registry import fig1_scenario
 
+    spec = fig1_scenario(direction, size_mb=size_mb)
+    run = run_scenario(
+        spec, n_clients=n_clients, seed=seed, mode="exact", platform=platform
+    )
     result = BlobBenchResult(direction, n_clients, size_mb)
-
-    def client_proc(env, idx):
-        client = BlobClient(blob_svc, p.clients[idx])
-        start = env.now
-        if direction == "download":
-            yield from client.download("bench", "shared-1gb")
-        else:
-            yield from client.upload("bench", f"up-{idx}", size_mb)
-        result.per_client_mbps.append(size_mb / (env.now - start))
-
-    result.makespan_s = run_clients(p, n_clients, client_proc)
+    result.per_client_mbps = [
+        size_mb / o.elapsed_s for o in run.phase_outcomes["main"] if o.finished
+    ]
+    result.makespan_s = run.phase_makespans["main"]
     return result
 
 

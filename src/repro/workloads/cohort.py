@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 import numpy as np
 
@@ -127,6 +127,58 @@ class CohortSpec:
     @property
     def think_mean_s(self) -> float:
         return self.think_time.mean if self.think_time is not None else 0.0
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "Any",
+        op: "Any",
+        n_clients: int,
+        ops_per_client: int = 10,
+    ) -> "CohortSpec":
+        """One cohort population for one op of a
+        :class:`~repro.scenarios.spec.ScenarioSpec` (duck-typed, so the
+        cohort layer stays import-independent of the scenario package).
+
+        The fluid driver prices ops at their *mean* payload sizes.  A
+        last-mile link profile has no event-level representation here,
+        so its mean per-request delay (propagation + serialization +
+        expected retransmission penalty) folds into the think time —
+        the loop slows by the same average amount.
+        """
+        think = scenario.arrival.think
+        extra_s = 0.0
+        link = scenario.link
+        if link is not None:
+            payload_mb = (
+                op.mean_size_mb
+                if op.service == "blob"
+                else op.mean_size_kb / 1024.0
+            )
+            extra_s = link.extra_latency_ms / 1000.0
+            extra_s += (
+                link.mean_retransmits * link.retransmit_penalty_ms / 1000.0
+            )
+            if link.bandwidth_mbps is not None:
+                extra_s += payload_mb / link.bandwidth_mbps
+        if extra_s > 0:
+            mean = (think.mean if think is not None else 0.0) + extra_s
+            think = Distribution.constant(mean)
+        return cls(
+            service=op.service,
+            op=op.op,
+            n_clients=n_clients,
+            ops_per_client=ops_per_client,
+            think_time=think,
+            size_kb=op.mean_size_kb,
+            size_mb=op.mean_size_mb,
+            ramp_s=scenario.ramp_s,
+            timeout_s=(
+                scenario.timeout_s
+                if scenario.timeout_s is not None
+                else 30.0
+            ),
+        )
 
 
 @dataclass

@@ -5,10 +5,11 @@ Add, Peek and Receive separately at message sizes 0.5-8 kB.  Peek and
 Receive run against a deep pre-filled queue (the paper also checked that
 depth, 200 k vs 2 M messages, does not matter).
 
-Runs on the unified harness in :mod:`repro.workloads.harness`
-(:func:`~repro.workloads.harness.measured_loop` /
-:func:`~repro.workloads.harness.sweep`), like the blob and table
-benches.
+Since the scenario-registry refactor this module is a thin
+compatibility wrapper: the workload itself is the registered
+``fig3-queue-{add,peek,receive}`` scenario, executed by the unified
+driver in :mod:`repro.scenarios.driver` (byte-identical replay of the
+historical hand-written client procs — pinned by the golden digests).
 """
 
 from __future__ import annotations
@@ -17,17 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro import calibration as cal
-from repro.client import QueueClient
-from repro.resilience.backoff import NO_RETRY
-from repro.storage.queue import QueueMessage
-from repro.workloads.harness import (
-    ClientRun,
-    Platform,
-    build_platform,
-    measured_loop,
-    run_clients,
-    sweep,
-)
+from repro.workloads.harness import ClientRun, Platform, sweep
 
 OPERATIONS = ("add", "peek", "receive")
 
@@ -55,15 +46,6 @@ class QueueBenchResult:
         return sum(o.ops_completed for o in self.outcomes) / window
 
 
-def _prefill(service, queue: str, count: int, size_kb: float) -> None:
-    """Administratively stock the queue (no simulated Add traffic)."""
-    state = service._queues[queue]
-    for i in range(count):
-        state.push(
-            QueueMessage(payload=i, size_kb=size_kb, visible_at=0.0)
-        )
-
-
 def run_queue_test(
     operation: str,
     n_clients: int,
@@ -78,36 +60,25 @@ def run_queue_test(
         raise ValueError(f"operation must be one of {OPERATIONS}")
     if n_clients < 1:
         raise ValueError("n_clients must be >= 1")
-    p = platform or build_platform(seed=seed, n_clients=n_clients)
-    svc = p.account.queues
-    svc.create_queue("bench")
-    if operation in ("peek", "receive"):
-        needed = n_clients * ops_per_client + 1000
-        _prefill(svc, "bench", prefill if prefill is not None else needed,
-                 message_kb)
+    # Imported lazily: repro.scenarios and repro.workloads import each
+    # other's submodules, so neither package init may need the other.
+    from repro.scenarios.driver import run_scenario
+    from repro.scenarios.registry import fig3_scenario
 
+    spec = fig3_scenario(
+        operation,
+        message_kb=message_kb,
+        ops_per_client=ops_per_client,
+        prefill=prefill,
+    )
+    run = run_scenario(
+        spec, n_clients=n_clients, seed=seed, mode="exact", platform=platform
+    )
     result = QueueBenchResult(operation, n_clients, message_kb)
-
-    def client_proc(env, idx):
-        client = QueueClient(svc, retry=NO_RETRY)
-
-        def one_op(i):
-            if operation == "add":
-                yield from client.add("bench", f"m-{idx}-{i}", message_kb)
-            elif operation == "peek":
-                yield from client.peek("bench")
-            else:
-                # Long visibility so re-receives don't recycle messages
-                # within the measurement window.
-                yield from client.receive(
-                    "bench", visibility_timeout_s=7200.0
-                )
-
-        yield from measured_loop(
-            env, idx, ops_per_client, one_op, result.outcomes, ClientOutcome
-        )
-
-    run_clients(p, n_clients, client_proc)
+    result.outcomes = [
+        ClientOutcome(o.client, o.ops_completed, o.elapsed_s, o.error)
+        for o in run.phase_outcomes["main"]
+    ]
     return result
 
 

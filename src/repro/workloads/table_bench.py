@@ -12,10 +12,13 @@ first storage exception, which is how "only 89 clients successfully
 finished all 500 insert operations" presents.  Raw service behaviour is
 wanted, so the driver runs with retries disabled.
 
-Runs on the unified harness in :mod:`repro.workloads.harness`
-(:func:`~repro.workloads.harness.measured_loop` /
-:func:`~repro.workloads.harness.sweep`), like the blob and queue
-benches.
+Since the scenario-registry refactor this module is a thin
+compatibility wrapper: the four-phase protocol is the registered
+``fig2-table`` scenario, executed by the unified driver in
+:mod:`repro.scenarios.driver` (byte-identical replay of the historical
+hand-written phase procs — pinned by the golden digests).  The
+Section 6.1 property-filter test stays a bespoke driver: its
+query-by-property scan is not a scenario op.
 """
 
 from __future__ import annotations
@@ -31,7 +34,6 @@ from repro.workloads.harness import (
     ClientRun,
     Platform,
     build_platform,
-    measured_loop,
     run_clients,
     sweep,
 )
@@ -74,55 +76,21 @@ def run_table_test(
     """Run the four-phase protocol at one concurrency level."""
     if n_clients < 1:
         raise ValueError("n_clients must be >= 1")
-    ops = dict(cal.TABLE_OPS_PER_CLIENT)
-    if ops_per_client:
-        ops.update(ops_per_client)
-    p = platform or build_platform(seed=seed, n_clients=n_clients)
-    svc = p.account.tables
-    svc.create_table("bench")
-    result = TableBenchResult(n_clients, entity_kb)
+    # Imported lazily: repro.scenarios and repro.workloads import each
+    # other's submodules, so neither package init may need the other.
+    from repro.scenarios.driver import run_scenario
+    from repro.scenarios.registry import fig2_scenario
 
-    shared_key = ("bench-pk", "shared-row")
-    svc._tables["bench"][shared_key] = make_entity(
-        *shared_key, size_kb=entity_kb
+    spec = fig2_scenario(entity_kb=entity_kb, ops_per_client=ops_per_client)
+    run = run_scenario(
+        spec, n_clients=n_clients, seed=seed, mode="exact", platform=platform
     )
-
-    def phase_proc(env, phase, idx, outcomes):
-        client = TableClient(svc, retry=NO_RETRY)
-
-        def one_op(op_i):
-            if phase == "insert":
-                yield from client.insert(
-                    "bench",
-                    make_entity(
-                        "bench-pk", f"c{idx}-r{op_i}", size_kb=entity_kb
-                    ),
-                )
-            elif phase == "query":
-                yield from client.query("bench", *shared_key)
-            elif phase == "update":
-                yield from client.update(
-                    "bench", make_entity(*shared_key, size_kb=entity_kb)
-                )
-            else:
-                yield from client.delete(
-                    "bench", "bench-pk", f"c{idx}-r{op_i}"
-                )
-
-        yield from measured_loop(
-            env, idx, ops[phase], one_op, outcomes, PhaseOutcome
-        )
-
+    result = TableBenchResult(n_clients, entity_kb)
     for phase in PHASES:
-        outcomes: List[PhaseOutcome] = []
-        run_clients(
-            p,
-            n_clients,
-            lambda env, idx, phase=phase, out=outcomes: phase_proc(
-                env, phase, idx, out
-            ),
-        )
-        result.phases[phase] = outcomes
+        result.phases[phase] = [
+            PhaseOutcome(o.client, o.ops_completed, o.elapsed_s, o.error)
+            for o in run.phase_outcomes[phase]
+        ]
     return result
 
 

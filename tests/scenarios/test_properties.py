@@ -1,0 +1,181 @@
+"""Statistical properties of the scenario engine's random machinery.
+
+Two families of checks:
+
+* the Zipf partition router's empirical frequencies converge to its
+  analytic pmf, and
+* the arrival process's per-window counts (batched mode) and thinned
+  arrival instants (exact mode) both match the closed-form integral of
+  the modulated rate.
+
+All draws use fixed seeds, so the tolerances are deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import ArrivalProcess, ArrivalSpec, SkewSpec, ZipfRouter
+
+
+# -- Zipf skew -------------------------------------------------------------
+
+
+def test_zipf_pmf_is_normalized_and_ranked():
+    router = ZipfRouter(SkewSpec(partitions=64, theta=0.99))
+    pmf = router.pmf()
+    assert pmf.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(pmf) < 0)  # hottest partition first
+    assert router.top_share() == pytest.approx(pmf[0])
+    assert 1.0 <= router.effective_partitions() <= 64.0
+
+
+def test_zipf_theta_zero_is_uniform():
+    router = ZipfRouter(SkewSpec(partitions=16, theta=0.0))
+    assert np.allclose(router.pmf(), 1.0 / 16)
+    assert router.effective_partitions() == pytest.approx(16.0)
+
+
+def test_zipf_empirical_frequencies_match_pmf():
+    spec = SkewSpec(partitions=64, theta=0.99)
+    router = ZipfRouter(spec)
+    rng = np.random.default_rng(7)
+    n = 200_000
+    parts = router.route_batch(rng.uniform(size=n))
+    freq = np.bincount(parts, minlength=spec.partitions) / n
+    # L1 distance between empirical frequencies and the analytic pmf;
+    # E[L1] ~ sum_k sqrt(p_k/n) ~ 0.008 here, so 0.02 is ~2.5x slack.
+    assert np.abs(freq - router.pmf()).sum() < 0.02
+    # The head of the distribution is where the driver's hot-partition
+    # behaviour comes from: check it tightly.
+    assert freq[0] == pytest.approx(router.top_share(), abs=0.005)
+
+
+def test_zipf_route_scalar_matches_batch():
+    router = ZipfRouter(SkewSpec(partitions=8, theta=0.7))
+    u = np.linspace(0.0, 0.999, 101)
+    assert [router.route(v) for v in u] == list(router.route_batch(u))
+
+
+# -- arrival processes -----------------------------------------------------
+
+
+def _expected_vs_counts(spec, duration_s, window_s, n_clients, seed):
+    rng = np.random.default_rng(seed)
+    process = ArrivalProcess(spec, duration_s, rng=rng)
+    wins, expected, counts = process.window_counts(
+        window_s, n_clients, np.random.default_rng(seed + 1)
+    )
+    return process, wins, expected, counts
+
+
+def test_poisson_diurnal_window_counts_match_rate_integral():
+    spec = ArrivalSpec(
+        kind="poisson", rate_hz=0.5,
+        diurnal_amplitude=0.4, diurnal_period_s=600.0,
+    )
+    process, wins, expected, counts = _expected_vs_counts(
+        spec, duration_s=600.0, window_s=60.0, n_clients=100, seed=11
+    )
+    assert len(wins) == 10
+    # Per-window mean is the exact aggregate rate integral.
+    for (t0, t1), mean in zip(wins, expected):
+        assert mean == pytest.approx(100 * process.integral(t0, t1))
+    # The diurnal modulation integrates to ~nothing over a full period.
+    assert expected.sum() == pytest.approx(100 * 0.5 * 600.0, rel=1e-9)
+    # Poisson draws agree with their means within 6 sigma per window.
+    for mean, count in zip(expected, counts):
+        assert abs(count - mean) < 6.0 * np.sqrt(mean)
+    # Windows modulate: the diurnal peak is visibly above the trough.
+    assert expected.max() > 1.3 * expected.min()
+
+
+def test_diurnal_integral_matches_numeric_quadrature():
+    spec = ArrivalSpec(
+        kind="poisson", rate_hz=2.0,
+        diurnal_amplitude=0.35, diurnal_period_s=251.0,
+        diurnal_phase_s=17.0,
+    )
+    process = ArrivalProcess(spec, 300.0)
+    t = np.linspace(40.0, 260.0, 200_001)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    numeric = trapezoid([process.rate(v) for v in t], t)
+    assert process.integral(40.0, 260.0) == pytest.approx(numeric, rel=1e-6)
+
+
+def test_mmpp_segments_tile_horizon_and_match_burst_fraction():
+    spec = ArrivalSpec(
+        kind="mmpp", rate_hz=1.0,
+        burst_multiplier=4.0, burst_fraction=0.2, burst_dwell_s=60.0,
+    )
+    duration = 200_000.0
+    process = ArrivalProcess(spec, duration, rng=np.random.default_rng(5))
+    # Segments tile [0, duration) contiguously.
+    assert process.segments[0][0] == 0.0
+    assert process.segments[-1][1] == duration
+    for (_, prev_end, _), (start, _, _) in zip(
+        process.segments, process.segments[1:]
+    ):
+        assert start == prev_end
+    # Long-run burst occupancy converges to burst_fraction.
+    high_time = sum(
+        end - start for start, end, mult in process.segments if mult > 1.0
+    )
+    assert high_time / duration == pytest.approx(0.2, abs=0.03)
+    # Integral additivity: window sums equal the full-horizon integral.
+    windows = process.windows(1000.0)
+    assert sum(
+        process.integral(t0, t1) for t0, t1 in windows
+    ) == pytest.approx(process.integral(0.0, duration))
+
+
+def test_mmpp_window_counts_track_realized_bursts():
+    spec = ArrivalSpec(
+        kind="mmpp", rate_hz=0.5,
+        burst_multiplier=5.0, burst_fraction=0.1, burst_dwell_s=120.0,
+        diurnal_amplitude=0.25, diurnal_period_s=3600.0,
+    )
+    process, wins, expected, counts = _expected_vs_counts(
+        spec, duration_s=3600.0, window_s=180.0, n_clients=500, seed=3
+    )
+    for mean, count in zip(expected, counts):
+        assert abs(count - mean) < 6.0 * np.sqrt(mean)
+    # The realized trajectory has bursty windows: expected rate is not
+    # flat (some window sits well above the base-rate-only value).
+    base_only = 500 * 0.5 * 180.0
+    assert expected.max() > 1.5 * base_only
+    # Totals agree with the exact integral over the horizon.
+    assert expected.sum() == pytest.approx(
+        500 * process.integral(0.0, 3600.0)
+    )
+
+
+def test_exact_thinned_arrivals_match_integral():
+    spec = ArrivalSpec(
+        kind="poisson", rate_hz=2.0,
+        diurnal_amplitude=0.4, diurnal_period_s=500.0,
+    )
+    duration = 2000.0
+    process = ArrivalProcess(spec, duration)
+    rng = np.random.default_rng(23)
+    t, n = 0.0, 0
+    while True:
+        t = process.next_arrival(t, rng)
+        if t >= duration:
+            break
+        n += 1
+    mean = process.integral(0.0, duration)
+    assert abs(n - mean) < 6.0 * np.sqrt(mean)
+
+
+def test_arrival_process_rejects_bad_inputs():
+    closed = ArrivalSpec(kind="closed")
+    with pytest.raises(ValueError):
+        ArrivalProcess(closed, 100.0)
+    poisson = ArrivalSpec(kind="poisson", rate_hz=1.0)
+    with pytest.raises(ValueError):
+        ArrivalProcess(poisson, 0.0)
+    mmpp = ArrivalSpec(
+        kind="mmpp", rate_hz=1.0, burst_fraction=0.2, burst_multiplier=2.0
+    )
+    with pytest.raises(ValueError):
+        ArrivalProcess(mmpp, 100.0)  # needs an rng for the trajectory
