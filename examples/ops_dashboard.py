@@ -7,6 +7,12 @@ is behaving."  This example wires gauges onto every service of a
 simulated platform, runs a mixed blob/table/queue workload with a
 mid-run 503 storm, and prints the dashboard an operator would watch.
 
+The final registry state is then catalogued as an ``ops`` run record —
+written through the catalog's own simulated blob service into
+``catalog-example/`` — so ``repro dash --catalog catalog-example``
+re-renders this run's KPIs long after the process exits (the
+run-catalog upgrade of the old print-and-forget loop).
+
 Run:  python examples/ops_dashboard.py
 """
 
@@ -112,6 +118,23 @@ def main():
     print(f"\n503s injected by the drill: {injector.stats.rejections} "
           "(absorbed by client retries -- visible only in the retry "
           "counter and the latency tallies, which is the paper's point)")
+
+    # Catalog the registry snapshot as a durable 'ops' artifact.
+    from repro.artifacts import CatalogStore, ops_record, render_dash
+
+    store = CatalogStore("catalog-example")
+    run_id = store.put_record(
+        ops_record(
+            "mixed-workload-503-storm",
+            registry.to_dict(),
+            tracer_snapshot=platform.tracer.snapshot(),
+            spec={"seed": 13, "n_clients": 24, "storm": "t=120..210s"},
+        )
+    )
+    print(f"\ncatalogued as {run_id} in catalog-example/ -- re-render "
+          "any time with:\n  python -m repro dash --catalog catalog-example")
+    print()
+    print(render_dash(store.get_record(run_id)))
 
 
 if __name__ == "__main__":

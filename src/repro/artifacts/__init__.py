@@ -1,0 +1,80 @@
+"""Run catalog + artifact store with QC gates and an operator dashboard.
+
+The simulation keeps its own science: every sweep, campaign and bench
+snapshot is catalogued as a content-addressed record written through
+the simulated blob service (:mod:`repro.artifacts.store`), judged by QC
+gates before it may become a baseline (:mod:`repro.artifacts.qc`), and
+rendered as KPI / burn-rate / Pareto views (:mod:`repro.artifacts.dash`).
+"""
+
+from repro.artifacts.dash import (
+    DEFAULT_AVAILABILITY_TARGET,
+    pareto_frontier,
+    render_dash,
+)
+from repro.artifacts.ingest import (
+    bench_record,
+    campaign_record,
+    cohort_record,
+    ingest_bench,
+    ingest_campaign,
+    ingest_cohort,
+    ingest_scenario_run,
+    ops_record,
+    run_scenario_sweep,
+    scenario_record,
+)
+from repro.artifacts.qc import (
+    DEFAULT_GATED_METRICS,
+    QCCheck,
+    QCReport,
+    QCThresholds,
+    run_qc,
+)
+from repro.artifacts.records import (
+    RUN_KINDS,
+    CellResult,
+    RunRecord,
+    canonical_json,
+    config_hash,
+    payload_digest,
+)
+from repro.artifacts.store import (
+    CATALOG_CONTAINER,
+    MANIFEST_BLOB,
+    MANIFEST_VERSION,
+    CatalogError,
+    CatalogStore,
+)
+
+__all__ = [
+    "CATALOG_CONTAINER",
+    "DEFAULT_AVAILABILITY_TARGET",
+    "DEFAULT_GATED_METRICS",
+    "MANIFEST_BLOB",
+    "MANIFEST_VERSION",
+    "RUN_KINDS",
+    "CatalogError",
+    "CatalogStore",
+    "CellResult",
+    "QCCheck",
+    "QCReport",
+    "QCThresholds",
+    "RunRecord",
+    "bench_record",
+    "campaign_record",
+    "canonical_json",
+    "cohort_record",
+    "config_hash",
+    "ingest_bench",
+    "ingest_campaign",
+    "ingest_cohort",
+    "ingest_scenario_run",
+    "ops_record",
+    "pareto_frontier",
+    "payload_digest",
+    "render_dash",
+    "run_qc",
+    "run_scenario_sweep",
+    "scenario_record",
+]

@@ -1,0 +1,346 @@
+"""QC gates: validate a catalogued sweep before it becomes a baseline.
+
+The JakubGryc31 CA-masters loop (PAPERS/related work) runs a
+QC-after-sweep script before any run may be frozen as the "thesis run";
+DiPerF's framework likewise refuses to aggregate metrics from an
+incomplete client fan-out.  This module is that gate for the catalog:
+:func:`run_qc` judges one :class:`~repro.artifacts.records.RunRecord`
+against
+
+1. **completeness** — every declared ``seed_grid`` × ``level_grid``
+   cell is present and did work (an aborted or skipped cell cannot
+   silently thin the grid);
+2. **digest consistency** — repeated (seed, level) cells carry
+   bit-identical summary digests (the simulator's determinism contract,
+   checked on the artifacts themselves);
+3. **variance** — per level, across seeds, each gated metric's
+   coefficient of variation and relative 95% CI half-width stay under
+   threshold (a baseline with noisy cells is not a baseline);
+4. **monotonicity** — mean completed work is non-decreasing in the
+   population level, and every cell's latency percentiles are ordered
+   (p50 ≤ p99);
+5. **integrity** — the record's ``config_hash`` still matches its spec
+   document.
+
+``repro qc`` renders the report and exits 0/1; ``--freeze`` pins the
+run only when every gate passes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis import ascii_table
+from repro.artifacts.records import RunRecord
+from repro.artifacts.records import config_hash as _config_hash
+
+#: Metrics the variance gate inspects (missing keys are skipped, so
+#: campaign/bench records pass through unjudged by this rule).
+DEFAULT_GATED_METRICS = (
+    "aggregate_ops_per_s",
+    "latency_mean_s",
+    "latency_p99_s",
+)
+
+#: Metric whose per-level mean must be non-decreasing in the level.
+MONOTONIC_METRIC = "ops_completed"
+
+
+@dataclass(frozen=True)
+class QCThresholds:
+    """Tunable gate thresholds (CLI flags map onto these)."""
+
+    #: Max coefficient of variation (std/mean) across seeds per level.
+    max_cv: float = 0.25
+    #: Max relative 95% CI half-width (1.96·std/√n / mean) per level.
+    max_ci_frac: float = 0.5
+    #: Metrics the variance gate inspects.
+    metrics: Tuple[str, ...] = DEFAULT_GATED_METRICS
+
+
+@dataclass
+class QCCheck:
+    """One gate's verdict."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class QCReport:
+    """All gate verdicts for one catalogued run."""
+
+    run_id: str
+    kind: str
+    checks: List[QCCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "passed": self.passed,
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+        }
+
+    def render(self) -> str:
+        rows = [
+            [c.name, "PASS" if c.passed else "FAIL", c.detail]
+            for c in self.checks
+        ]
+        verdict = "PASS" if self.passed else "FAIL"
+        return ascii_table(
+            ["gate", "verdict", "detail"],
+            rows,
+            title=(
+                f"QC {verdict}: run {self.run_id} ({self.kind}) — "
+                f"{sum(c.passed for c in self.checks)}/"
+                f"{len(self.checks)} gates passed"
+            ),
+        )
+
+
+def _mean_std(values: List[float]) -> Tuple[float, float]:
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(var)
+
+
+def _check_completeness(record: RunRecord, report: QCReport) -> None:
+    declared = [
+        (seed, level)
+        for seed in record.seed_grid
+        for level in record.level_grid
+    ]
+    if not declared:
+        report.checks.append(
+            QCCheck(
+                "completeness", True,
+                "no declared grid (non-sweep record)",
+            )
+        )
+        return
+    present = {(c.seed, c.level) for c in record.cells}
+    missing = [cell for cell in declared if cell not in present]
+    if missing:
+        shown = ", ".join(f"seed={s} level={n}" for s, n in missing[:4])
+        more = f" (+{len(missing) - 4} more)" if len(missing) > 4 else ""
+        report.checks.append(
+            QCCheck(
+                "completeness", False,
+                f"{len(missing)}/{len(declared)} cells missing: "
+                f"{shown}{more}",
+            )
+        )
+    else:
+        report.checks.append(
+            QCCheck(
+                "completeness", True,
+                f"all {len(declared)} declared cells present",
+            )
+        )
+    empty = [
+        c for c in record.cells
+        if float(c.metrics.get("ops_completed", 0)) <= 0
+    ]
+    report.checks.append(
+        QCCheck(
+            "non-empty-cells",
+            not empty,
+            (
+                f"{len(empty)} cell(s) completed zero ops"
+                if empty
+                else "every cell completed work"
+            ),
+        )
+    )
+
+
+def _check_digest_consistency(record: RunRecord, report: QCReport) -> None:
+    seen: Dict[Tuple[int, int], str] = {}
+    clashes = []
+    for cell in record.cells:
+        key = (cell.seed, cell.level)
+        prior = seen.get(key)
+        if prior is None:
+            seen[key] = cell.digest
+        elif prior != cell.digest:
+            clashes.append(key)
+    repeats = len(record.cells) - len(seen)
+    if clashes:
+        shown = ", ".join(f"seed={s} level={n}" for s, n in clashes[:4])
+        report.checks.append(
+            QCCheck(
+                "digest-consistency", False,
+                f"{len(clashes)} repeated cell(s) diverged: {shown}",
+            )
+        )
+    else:
+        report.checks.append(
+            QCCheck(
+                "digest-consistency", True,
+                (
+                    f"{repeats} repeat(s), all bit-identical"
+                    if repeats
+                    else "no repeated cells"
+                ),
+            )
+        )
+
+
+def _check_variance(
+    record: RunRecord, thresholds: QCThresholds, report: QCReport
+) -> None:
+    worst: Optional[str] = None
+    worst_cv = worst_ci = 0.0
+    judged = 0
+    for level in record.levels_present():
+        cells = [c for c in record.cells if c.level == level]
+        if len(cells) < 2:
+            continue
+        for metric in thresholds.metrics:
+            values = [
+                float(c.metrics[metric])
+                for c in cells
+                if metric in c.metrics
+            ]
+            if len(values) < 2:
+                continue
+            mean, std = _mean_std(values)
+            if mean <= 0:
+                continue
+            judged += 1
+            cv = std / mean
+            ci = 1.96 * std / math.sqrt(len(values)) / mean
+            if cv > worst_cv:
+                worst_cv, worst = cv, f"{metric}@level={level}"
+            worst_ci = max(worst_ci, ci)
+    if judged == 0:
+        report.checks.append(
+            QCCheck(
+                "variance", True,
+                "no level with >=2 seeds to judge",
+            )
+        )
+        return
+    ok = worst_cv <= thresholds.max_cv and worst_ci <= thresholds.max_ci_frac
+    report.checks.append(
+        QCCheck(
+            "variance",
+            ok,
+            f"worst cv={worst_cv:.3f} ({worst}), "
+            f"ci_frac={worst_ci:.3f} "
+            f"(limits {thresholds.max_cv}/{thresholds.max_ci_frac})",
+        )
+    )
+
+
+def _check_monotonicity(record: RunRecord, report: QCReport) -> None:
+    levels = record.levels_present()
+    ordered_percentiles = [
+        (c.seed, c.level)
+        for c in record.cells
+        if float(c.metrics.get("latency_p50_s", 0.0))
+        > float(c.metrics.get("latency_p99_s", float("inf")))
+    ]
+    report.checks.append(
+        QCCheck(
+            "percentile-order",
+            not ordered_percentiles,
+            (
+                f"{len(ordered_percentiles)} cell(s) with p50 > p99"
+                if ordered_percentiles
+                else "p50 <= p99 in every cell"
+            ),
+        )
+    )
+    if len(levels) < 2:
+        report.checks.append(
+            QCCheck(
+                "monotonicity", True,
+                "fewer than two levels (nothing to order)",
+            )
+        )
+        return
+    means = []
+    for level in levels:
+        values = [
+            float(c.metrics.get(MONOTONIC_METRIC, 0.0))
+            for c in record.cells
+            if c.level == level
+        ]
+        means.append(sum(values) / len(values))
+    breaks = [
+        (levels[i], levels[i + 1])
+        for i in range(len(means) - 1)
+        if means[i + 1] < means[i]
+    ]
+    if breaks:
+        shown = ", ".join(f"{a}->{b}" for a, b in breaks[:3])
+        report.checks.append(
+            QCCheck(
+                "monotonicity", False,
+                f"mean {MONOTONIC_METRIC} drops at level(s) {shown}",
+            )
+        )
+    else:
+        report.checks.append(
+            QCCheck(
+                "monotonicity", True,
+                f"mean {MONOTONIC_METRIC} non-decreasing over "
+                f"levels {levels}",
+            )
+        )
+
+
+def _check_integrity(record: RunRecord, report: QCReport) -> None:
+    actual = _config_hash(record.spec)
+    report.checks.append(
+        QCCheck(
+            "config-hash",
+            actual == record.config_hash,
+            (
+                "spec document matches its recorded hash"
+                if actual == record.config_hash
+                else f"spec hashes to {actual[:12]}…, record claims "
+                f"{record.config_hash[:12]}…"
+            ),
+        )
+    )
+
+
+def run_qc(
+    record: RunRecord, thresholds: Optional[QCThresholds] = None
+) -> QCReport:
+    """Judge one record against every applicable gate."""
+    thresholds = thresholds or QCThresholds()
+    report = QCReport(run_id=record.run_id, kind=record.kind)
+    _check_integrity(record, report)
+    _check_completeness(record, report)
+    if record.cells:
+        _check_digest_consistency(record, report)
+        _check_variance(record, thresholds, report)
+        _check_monotonicity(record, report)
+    return report
+
+
+__all__ = [
+    "DEFAULT_GATED_METRICS",
+    "MONOTONIC_METRIC",
+    "QCCheck",
+    "QCReport",
+    "QCThresholds",
+    "run_qc",
+]

@@ -16,6 +16,11 @@ Usage::
     python -m repro scenario describe block-storage
     python -m repro scenario run streaming [--clients 10000] [--json out.json]
     python -m repro scenario run --file my_pack.toml [--levels 2,8,32]
+    python -m repro scenario run fig3-queue-add --levels 2,4 --seeds 3,4 --catalog
+    python -m repro qc [RUN_ID] [--max-cv 0.5] [--freeze baseline]
+    python -m repro dash [RUN_ID | --frozen baseline] [--availability 0.999]
+    python -m repro catalog list [--kind scenario]
+    python -m repro catalog show [RUN_ID]
 """
 
 from __future__ import annotations
@@ -115,6 +120,13 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
     rate = args.clients / elapsed if elapsed > 0 else float("inf")
     print(f"  (finished in {elapsed:.2f}s wall-clock — "
           f"{rate:,.0f} simulated clients/s)")
+    if args.catalog:
+        from repro.artifacts import CatalogStore, ingest_cohort
+
+        run_id = ingest_cohort(
+            CatalogStore(args.catalog), spec, result, args.seed
+        )
+        print(f"catalogued as {run_id} in {args.catalog}/")
     if args.json:
         import json
 
@@ -230,6 +242,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     elapsed = time.time() - start
     print(report.render())
     print(f"\n({args.scenario} campaign finished in {elapsed:.1f}s)")
+    if args.catalog:
+        from repro.artifacts import CatalogStore, ingest_campaign
+
+        run_id = ingest_campaign(CatalogStore(args.catalog), spec, report)
+        print(f"catalogued as {run_id} in {args.catalog}/")
     if args.json:
         import json
 
@@ -266,6 +283,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"seed={snapshot['seed']}, jobs={snapshot['jobs']}:")
         for eid, secs in snapshot["experiment_wallclock_s"].items():
             print(f"  {eid:8s} {secs:>8.2f}s")
+    if args.catalog:
+        from repro.artifacts import CatalogStore, ingest_bench
+
+        run_id = ingest_bench(CatalogStore(args.catalog), snapshot)
+        print(f"\ncatalogued as {run_id} in {args.catalog}/")
     if args.json:
         import json
 
@@ -500,33 +522,201 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
     # run
     exported = None
+    record = None
+    seeds = (
+        [int(v) for v in args.seeds.split(",") if v.strip()]
+        if args.seeds
+        else None
+    )
     start = time.time()
-    if args.levels:
-        levels = [int(v) for v in args.levels.split(",") if v.strip()]
-        runs = sweep_scenario(
-            spec, levels=levels, seed=args.seed, mode=args.mode,
-            jobs=args.jobs,
+    if args.levels or seeds:
+        levels = (
+            [int(v) for v in args.levels.split(",") if v.strip()]
+            if args.levels
+            else None
         )
-        exported = {
-            "scenario": spec.name,
-            "levels": {str(n): r.summary() for n, r in runs.items()},
+        seed_grid = seeds if seeds else [
+            args.seed if args.seed is not None else spec.default_seed
+        ]
+        results_by_seed = {
+            seed: sweep_scenario(
+                spec, levels=levels, seed=seed, mode=args.mode,
+                jobs=args.jobs,
+            )
+            for seed in seed_grid
         }
-        for n, run in runs.items():
-            _print_scenario_summary(run.summary())
-            print()
+        if len(seed_grid) == 1:
+            only = results_by_seed[seed_grid[0]]
+            exported = {
+                "scenario": spec.name,
+                "levels": {str(n): r.summary() for n, r in only.items()},
+            }
+        else:
+            exported = {
+                "scenario": spec.name,
+                "seeds": {
+                    str(seed): {
+                        str(n): r.summary() for n, r in runs.items()
+                    }
+                    for seed, runs in results_by_seed.items()
+                },
+            }
+        for runs in results_by_seed.values():
+            for run in runs.values():
+                _print_scenario_summary(run.summary())
+                print()
+        if args.catalog:
+            from repro.artifacts import scenario_record
+
+            record = scenario_record(spec, results_by_seed, mode=args.mode)
     else:
         run = run_scenario(
             spec, n_clients=args.clients, seed=args.seed, mode=args.mode
         )
         exported = run.summary()
         _print_scenario_summary(exported)
+        if args.catalog:
+            from repro.artifacts import scenario_record
+
+            record = scenario_record(
+                spec, {run.seed: {run.n_clients: run}}, mode=args.mode
+            )
     print(f"  (finished in {time.time() - start:.2f}s wall-clock)")
+    if record is not None:
+        from repro.artifacts import CatalogStore
+
+        run_id = CatalogStore(args.catalog).put_record(record)
+        print(f"catalogued as {run_id} in {args.catalog}/")
     if args.json:
         import json
 
         with open(args.json, "w") as fh:
             json.dump(exported, fh, indent=2, sort_keys=True)
         print(f"wrote machine-readable scenario summary to {args.json}")
+    return 0
+
+
+def _open_catalog(args: argparse.Namespace):
+    """Open the selected catalog directory (or exit 2 when empty/bad)."""
+    from repro.artifacts import CatalogError, CatalogStore
+
+    try:
+        return CatalogStore(args.catalog)
+    except CatalogError as exc:
+        print(f"bad catalog: {exc}", file=sys.stderr)
+        return None
+
+
+def _resolve_record(store, args: argparse.Namespace, kind=None):
+    """Resolve RUN_ID / --frozen / latest to a loaded record (or None)."""
+    from repro.artifacts import CatalogError
+
+    try:
+        run_id = store.resolve(
+            run_id=args.run_id, frozen=args.frozen, kind=kind
+        )
+        return store.get_record(run_id)
+    except CatalogError as exc:
+        print(f"catalog error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_qc(args: argparse.Namespace) -> int:
+    from repro.artifacts import QCThresholds, run_qc
+
+    store = _open_catalog(args)
+    if store is None:
+        return 2
+    record = _resolve_record(store, args)
+    if record is None:
+        return 2
+    thresholds = QCThresholds(max_cv=args.max_cv, max_ci_frac=args.max_ci)
+    report = run_qc(record, thresholds)
+    print(report.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote machine-readable QC report to {args.json}")
+    if args.freeze is not None:
+        label = args.freeze or "frozen"
+        if report.passed:
+            store.freeze(record.run_id, label)
+            print(f"froze {record.run_id} as '{label}'")
+        else:
+            print(
+                f"NOT freezing {record.run_id}: QC failed "
+                f"(a failing sweep cannot become a baseline)",
+                file=sys.stderr,
+            )
+    return 0 if report.passed else 1
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.artifacts import render_dash
+
+    store = _open_catalog(args)
+    if store is None:
+        return 2
+    record = _resolve_record(store, args)
+    if record is None:
+        return 2
+    print(
+        render_dash(
+            record,
+            availability_target=args.availability,
+            frozen_labels=store.frozen_labels(record.run_id),
+        )
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(record.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote the full run record to {args.json}")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    store = _open_catalog(args)
+    if store is None:
+        return 2
+    if args.action == "list":
+        runs = store.list_runs(kind=args.kind)
+        if not runs:
+            print(f"catalog at {store.root} holds no runs")
+            return 0
+        frozen = {
+            run_id: labels
+            for run_id in {r["run_id"] for r in runs}
+            if (labels := store.frozen_labels(run_id))
+        }
+        print(
+            f"{'run id':36s}  {'kind':9s}  {'created':20s}  "
+            f"{'config':12s}  frozen"
+        )
+        for row in runs:
+            pins = ",".join(frozen.get(row["run_id"], [])) or "-"
+            print(
+                f"{row['run_id']:36s}  {row['kind']:9s}  "
+                f"{row['created_at']:20s}  {row['config_hash'][:12]:12s}  "
+                f"{pins}"
+            )
+        stats = store.stats()
+        print(
+            f"({stats['runs']:.0f} runs, {stats['objects']:.0f} blob "
+            f"objects, {stats['stored_mb']:.3f} MB stored, "
+            f"{stats['frozen_labels']:.0f} frozen label(s))"
+        )
+        return 0
+    # show
+    record = _resolve_record(store, args, kind=args.kind)
+    if record is None:
+        return 2
+    import json
+
+    print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
     return 0
 
 
@@ -606,6 +796,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write machine-readable results to this JSON file",
+    )
+    p_run.add_argument(
+        "--catalog", metavar="DIR", nargs="?", const="catalog",
+        default=None,
+        help=(
+            "catalog a cohort trial as a run record in this directory "
+            "(default ./catalog); cohort runs only"
+        ),
     )
     p_run.set_defaults(func=_cmd_run)
 
@@ -694,6 +892,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="also write the machine-readable report to this JSON file",
     )
+    p_campaign.add_argument(
+        "--catalog", metavar="DIR", nargs="?", const="catalog",
+        default=None,
+        help=(
+            "catalog the campaign report as a run record in this "
+            "directory (default ./catalog)"
+        ),
+    )
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_bench = sub.add_parser(
@@ -722,6 +928,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--clients", type=int, default=100_000, metavar="N",
         help="cohort population for --cohort (default 100000)",
+    )
+    p_bench.add_argument(
+        "--catalog", metavar="DIR", nargs="?", const="catalog",
+        default=None,
+        help=(
+            "catalog the perf snapshot as a run record in this "
+            "directory (default ./catalog)"
+        ),
     )
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -850,10 +1064,105 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_scenario.add_argument(
+        "--seeds", metavar="S1,S2", default=None,
+        help=(
+            "run the sweep once per comma-separated seed (a seed x "
+            "level grid — what the QC variance gate judges)"
+        ),
+    )
+    p_scenario.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the machine-readable summary to this JSON file",
     )
+    p_scenario.add_argument(
+        "--catalog", metavar="DIR", nargs="?", const="catalog",
+        default=None,
+        help=(
+            "catalog the run/grid as a run record written through the "
+            "simulated blob service into this directory (default "
+            "./catalog); observation-only, results are bit-identical "
+            "with or without it"
+        ),
+    )
     p_scenario.set_defaults(func=_cmd_scenario)
+
+    def add_catalog_selector(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "run_id", nargs="?", default=None,
+            help="catalogued run id (default: latest, or --frozen pin)",
+        )
+        p.add_argument(
+            "--catalog", metavar="DIR", default="catalog",
+            help="catalog directory (default ./catalog)",
+        )
+        p.add_argument(
+            "--frozen", metavar="LABEL", default=None,
+            help="select the run pinned under this frozen label",
+        )
+
+    p_qc = sub.add_parser(
+        "qc",
+        help=(
+            "judge a catalogued run against the QC gates (grid "
+            "completeness, digest consistency, cross-seed variance, "
+            "monotonicity, config-hash integrity); exit 1 on failure"
+        ),
+    )
+    add_catalog_selector(p_qc)
+    p_qc.add_argument(
+        "--max-cv", type=float, default=0.25, metavar="F",
+        help="max coefficient of variation across seeds per level",
+    )
+    p_qc.add_argument(
+        "--max-ci", type=float, default=0.5, metavar="F",
+        help="max relative 95%% CI half-width across seeds per level",
+    )
+    p_qc.add_argument(
+        "--freeze", metavar="LABEL", nargs="?", const="frozen",
+        default=None,
+        help=(
+            "on QC pass, pin the run under LABEL (default 'frozen') — "
+            "a failing run is never frozen"
+        ),
+    )
+    p_qc.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the machine-readable QC report to this file",
+    )
+    p_qc.set_defaults(func=_cmd_qc)
+
+    p_dash = sub.add_parser(
+        "dash",
+        help=(
+            "render the operator dashboard (KPI, error-budget burn, "
+            "latency-vs-load Pareto) from a catalogued run"
+        ),
+    )
+    add_catalog_selector(p_dash)
+    p_dash.add_argument(
+        "--availability", type=float, default=0.999, metavar="T",
+        help="availability objective for the burn-rate view",
+    )
+    p_dash.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full run record to this JSON file",
+    )
+    p_dash.set_defaults(func=_cmd_dash)
+
+    p_catalog = sub.add_parser(
+        "catalog",
+        help="list or dump the run catalog's records",
+    )
+    p_catalog.add_argument(
+        "action", choices=["list", "show"],
+        help="list = one line per run; show = dump one record as JSON",
+    )
+    add_catalog_selector(p_catalog)
+    p_catalog.add_argument(
+        "--kind", default=None,
+        help="filter/select by record kind (scenario, campaign, ...)",
+    )
+    p_catalog.set_defaults(func=_cmd_catalog)
 
     p_cal = sub.add_parser(
         "calibration", help="print the paper-anchored constants"

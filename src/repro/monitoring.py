@@ -126,6 +126,41 @@ class MetricsRegistry:
                 out[f"latency_errors:{name}"] = float(tally.errors)
         return out
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able registry state: counters, gauge values frozen at
+        call time, full tally histograms (bucket-for-bucket), plus the
+        flat :meth:`snapshot` under ``values`` for convenience.  The
+        catalog's ``ops`` records store exactly this document.
+        """
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: self.read_gauge(name) for name in self.gauge_names()
+            },
+            "tallies": {
+                name: self._tallies[name].to_dict()
+                for name in self.tally_names()
+            },
+            "values": self.snapshot(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output.  Counters and
+        tallies restore exactly; gauges come back as frozen constants
+        (live callbacks cannot cross a serialization boundary)."""
+        registry = cls()
+        for name, value in payload.get("counters", {}).items():  # type: ignore[union-attr]
+            registry.counter(str(name)).value = float(value)
+        for name, value in payload.get("gauges", {}).items():  # type: ignore[union-attr]
+            registry.register_gauge(str(name), _FrozenGauge(float(value)))
+        for name, doc in payload.get("tallies", {}).items():  # type: ignore[union-attr]
+            registry._tallies[str(name)] = HistogramTally.from_dict(doc)
+        return registry
+
 
 class Sampler:
     """Periodically samples every gauge onto a TimeSeries."""

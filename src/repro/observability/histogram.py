@@ -324,6 +324,22 @@ class HistogramTally:
     def fraction_below(self, threshold: float) -> float:
         return self.histogram.fraction_below(threshold)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form (histogram buckets + error counter);
+        :meth:`from_dict` restores it exactly."""
+        return {
+            "histogram": self.histogram.to_dict(),
+            "errors": self.errors,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "HistogramTally":
+        hist = Histogram.from_dict(payload["histogram"])  # type: ignore[arg-type]
+        tally = cls(hist.name, min_value=hist.min_value, growth=hist.growth)
+        tally.histogram = hist
+        tally.errors = int(payload.get("errors", 0))  # type: ignore[arg-type]
+        return tally
+
     def __len__(self) -> int:
         return self.histogram.count
 

@@ -125,6 +125,15 @@ class CampaignSpec:
             for f in self.faults
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """The full JSON-able spec document (fault schedule included) —
+        what the run catalog hashes as this campaign's config identity."""
+        from dataclasses import asdict
+
+        doc = asdict(self)
+        doc["faults"] = [asdict(f) for f in self.faults]
+        return doc
+
 
 @dataclass
 class ModeResult:

@@ -98,6 +98,10 @@ class ScenarioRunResult:
     windows: List[Dict[str, float]] = field(default_factory=list)
     #: Analytic skew block when the spec routes by partition.
     skew: Optional[Dict[str, float]] = None
+    #: Serialized :meth:`~repro.service.tracing.RequestTracer.snapshot`
+    #: of the run's tracer — catalog sidecar only, deliberately NOT part
+    #: of :meth:`summary` (the golden digests pin ``summary()``).
+    tracer_snapshot: Optional[Dict[str, Any]] = None
 
     @property
     def aggregate_ops_per_s(self) -> float:
@@ -669,6 +673,7 @@ def _run_scenario_exact(
             result.latency_p50_s,
             result.latency_p99_s,
         ) = roll
+        result.tracer_snapshot = p.tracer.snapshot()
     if spec.skew is not None:
         result.skew = _skew_block(spec.skew)
     return result
@@ -761,6 +766,7 @@ def _run_closed_batched(
         result.makespan_s += phase_makespan
     result.per_op, roll = _op_stats(tracer)
     result.latency_mean_s, result.latency_p50_s, result.latency_p99_s = roll
+    result.tracer_snapshot = tracer.snapshot()
     if spec.skew is not None:
         result.skew = _skew_block(spec.skew)
     return result
@@ -901,6 +907,7 @@ def _run_open_batched(
     result.makespan_s = float(spec.duration_s)
     result.per_op, roll = _op_stats(tracer)
     result.latency_mean_s, result.latency_p50_s, result.latency_p99_s = roll
+    result.tracer_snapshot = tracer.snapshot()
     if spec.skew is not None:
         result.skew = _skew_block(spec.skew)
     return result

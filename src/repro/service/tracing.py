@@ -325,6 +325,88 @@ class RequestTracer:
         latencies (the client-observed view, through retries/hedging)."""
         return dict(self._client_latency)
 
+    # -- serialization -----------------------------------------------------
+    #: Joiner for ``(service, op)`` keys in snapshot dicts — service
+    #: names and op kinds both contain dots ("account.blobs",
+    #: "blob.download"), so a pipe keeps the pair splittable.
+    _KEY_JOIN = "|"
+
+    @classmethod
+    def _snapshot_key(cls, key: Tuple[str, str]) -> str:
+        return cls._KEY_JOIN.join(key)
+
+    @classmethod
+    def _parse_key(cls, key: str) -> Tuple[str, str]:
+        service, _, op = key.partition(cls._KEY_JOIN)
+        return service, op
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able aggregate state: counters, per-``(service, op)``
+        totals, and every streaming histogram bucket-for-bucket.
+
+        The bounded raw-record window is deliberately *not* serialized
+        — aggregates and histograms are the exact, trim-proof science;
+        the window is a debugging convenience.  Round-trips through
+        :meth:`from_snapshot` (the catalog stores these per sweep cell).
+        """
+        return {
+            "total": self.total,
+            "errors": self.errors,
+            "client_total": self.client_total,
+            "client_errors": self.client_errors,
+            "retries": self.retries,
+            "dropped": self.dropped,
+            "per_op": {
+                self._snapshot_key(k): dict(v)
+                for k, v in self._per_op.items()
+            },
+            "client_per_op": {
+                self._snapshot_key(k): dict(v)
+                for k, v in self._client_per_op.items()
+            },
+            "latency": {
+                self._snapshot_key(k): h.to_dict()
+                for k, h in self._latency.items()
+            },
+            "client_latency": {
+                self._snapshot_key(k): h.to_dict()
+                for k, h in self._client_latency.items()
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: Dict[str, object]) -> "RequestTracer":
+        """Rebuild a tracer from :meth:`snapshot` output.  Aggregates,
+        counters and histograms are restored exactly (percentiles and
+        :func:`repro.monitoring.request_summary` render identically);
+        the raw-record window starts empty."""
+        tracer = cls()
+        tracer.total = int(payload.get("total", 0))  # type: ignore[arg-type]
+        tracer.errors = int(payload.get("errors", 0))  # type: ignore[arg-type]
+        tracer.client_total = int(payload.get("client_total", 0))  # type: ignore[arg-type]
+        tracer.client_errors = int(payload.get("client_errors", 0))  # type: ignore[arg-type]
+        tracer.retries = int(payload.get("retries", 0))  # type: ignore[arg-type]
+        tracer.dropped = int(payload.get("dropped", 0))  # type: ignore[arg-type]
+        per_op = payload.get("per_op", {})
+        for key, agg in per_op.items():  # type: ignore[union-attr]
+            tracer._per_op[cls._parse_key(key)] = {
+                str(f): float(v) for f, v in agg.items()
+            }
+        client_per_op = payload.get("client_per_op", {})
+        for key, agg in client_per_op.items():  # type: ignore[union-attr]
+            tracer._client_per_op[cls._parse_key(key)] = {
+                str(f): float(v) for f, v in agg.items()
+            }
+        latency = payload.get("latency", {})
+        for key, doc in latency.items():  # type: ignore[union-attr]
+            tracer._latency[cls._parse_key(key)] = Histogram.from_dict(doc)
+        client_latency = payload.get("client_latency", {})
+        for key, doc in client_latency.items():  # type: ignore[union-attr]
+            tracer._client_latency[cls._parse_key(key)] = (
+                Histogram.from_dict(doc)
+            )
+        return tracer
+
     def clear(self) -> None:
         self.recorder.events.clear()
         self.dropped = 0

@@ -1,0 +1,153 @@
+"""QC gates on synthetic records: pass/fail semantics per rule."""
+
+from repro.artifacts import (
+    CellResult,
+    QCThresholds,
+    RunRecord,
+    config_hash,
+    payload_digest,
+    run_qc,
+)
+
+
+def _cell(seed, level, **metrics):
+    doc = {
+        "ops_completed": metrics.pop("ops_completed", 10 * level),
+        "errors": 0,
+        "aggregate_ops_per_s": metrics.pop("ops_per_s", float(level)),
+        "latency_mean_s": metrics.pop("mean", 0.05),
+        "latency_p50_s": metrics.pop("p50", 0.04),
+        "latency_p99_s": metrics.pop("p99", 0.09),
+    }
+    doc.update(metrics)
+    return CellResult(
+        seed=seed, level=level, digest=payload_digest(doc), metrics=doc
+    )
+
+
+def _sweep(cells, seeds, levels, spec=None):
+    spec = spec if spec is not None else {"name": "synthetic"}
+    return RunRecord(
+        run_id="r-1",
+        kind="scenario",
+        name="synthetic",
+        config_hash=config_hash(spec),
+        spec=spec,
+        seed_grid=list(seeds),
+        level_grid=list(levels),
+        cells=cells,
+    )
+
+
+def _gate(report, name):
+    return next(c for c in report.checks if c.name == name)
+
+
+def test_complete_low_variance_sweep_passes():
+    cells = [
+        _cell(s, n, ops_per_s=float(n) * (1.0 + 0.01 * s))
+        for s in (1, 2, 3)
+        for n in (2, 4)
+    ]
+    report = run_qc(_sweep(cells, (1, 2, 3), (2, 4)))
+    assert report.passed, report.render()
+    assert len(report.checks) == 7
+
+
+def test_missing_cell_fails_completeness():
+    cells = [_cell(s, n) for s in (1, 2) for n in (2, 4)]
+    cells = [c for c in cells if not (c.seed == 2 and c.level == 4)]
+    report = run_qc(_sweep(cells, (1, 2), (2, 4)))
+    assert not report.passed
+    gate = _gate(report, "completeness")
+    assert not gate.passed
+    assert "seed=2 level=4" in gate.detail
+
+
+def test_zero_ops_cell_fails():
+    cells = [_cell(1, 2), _cell(1, 4, ops_completed=0)]
+    report = run_qc(_sweep(cells, (1,), (2, 4)))
+    assert not _gate(report, "non-empty-cells").passed
+
+
+def test_high_variance_fails_and_thresholds_tune():
+    # Same level, wildly different throughput across seeds.
+    cells = [
+        _cell(1, 2, ops_per_s=1.0),
+        _cell(2, 2, ops_per_s=9.0),
+    ]
+    record = _sweep(cells, (1, 2), (2,))
+    assert not _gate(run_qc(record), "variance").passed
+    loose = QCThresholds(max_cv=5.0, max_ci_frac=10.0)
+    assert _gate(run_qc(record, loose), "variance").passed
+
+
+def test_digest_clash_on_repeated_cell_fails():
+    a = _cell(1, 2)
+    b = _cell(1, 2, ops_completed=21)  # same (seed, level), new digest
+    report = run_qc(_sweep([a, b], (1,), (2,)))
+    gate = _gate(report, "digest-consistency")
+    assert not gate.passed
+    assert "seed=1 level=2" in gate.detail
+
+
+def test_identical_repeats_pass_digest_gate():
+    a = _cell(1, 2)
+    b = _cell(1, 2)
+    report = run_qc(_sweep([a, b], (1,), (2,)))
+    gate = _gate(report, "digest-consistency")
+    assert gate.passed
+    assert "1 repeat" in gate.detail
+
+
+def test_monotonicity_break_fails():
+    cells = [_cell(1, 2, ops_completed=100), _cell(1, 4, ops_completed=50)]
+    report = run_qc(_sweep(cells, (1,), (2, 4)))
+    gate = _gate(report, "monotonicity")
+    assert not gate.passed
+    assert "2->4" in gate.detail
+
+
+def test_percentile_disorder_fails():
+    cells = [_cell(1, 2, p50=0.2, p99=0.1)]
+    report = run_qc(_sweep(cells, (1,), (2,)))
+    assert not _gate(report, "percentile-order").passed
+
+
+def test_config_hash_tamper_fails():
+    cells = [_cell(1, 2)]
+    record = _sweep(cells, (1,), (2,))
+    record.spec = {"name": "synthetic", "tampered": True}
+    report = run_qc(record)
+    assert not _gate(report, "config-hash").passed
+
+
+def test_non_sweep_record_passes_trivially():
+    record = RunRecord(
+        run_id="b-1",
+        kind="bench",
+        name="kernel",
+        config_hash=config_hash({"scale": 0.1}),
+        spec={"scale": 0.1},
+        metrics={"kernel": {"events_per_s": 1e6}},
+    )
+    report = run_qc(record)
+    assert report.passed
+    names = [c.name for c in report.checks]
+    # Cell-based gates are skipped entirely for non-sweep records.
+    assert "variance" not in names
+    assert "monotonicity" not in names
+    assert "no declared grid" in _gate(report, "completeness").detail
+
+
+def test_report_round_trip_and_render():
+    cells = [_cell(1, 2)]
+    report = run_qc(_sweep(cells, (1,), (2,)))
+    doc = report.to_dict()
+    assert doc["passed"] is True
+    assert {c["name"] for c in doc["checks"]} == {
+        c.name for c in report.checks
+    }
+    rendered = report.render()
+    assert "QC PASS" in rendered
+    assert "config-hash" in rendered

@@ -1,0 +1,150 @@
+"""Serialization round-trips for the observability snapshots.
+
+The catalog stores tracer/registry snapshots as JSON payloads; these
+tests pin the round-trip contract: dict → JSON → dict restores every
+aggregate exactly and every histogram bucket-for-bucket.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.monitoring import MetricsRegistry, request_summary
+from repro.observability.histogram import Histogram, HistogramTally
+from repro.service.tracing import OK, RequestTrace, RequestTracer
+
+
+def _json_round_trip(doc):
+    return json.loads(json.dumps(doc))
+
+
+def _trace(service, op, start, latency, outcome=OK, retries=0):
+    return RequestTrace(
+        service=service,
+        op=op,
+        started_at=start,
+        finished_at=start + latency,
+        size_mb=1.5,
+        queue_wait_s=latency / 10,
+        transfer_s=latency / 5,
+        retries=retries,
+        outcome=outcome,
+    )
+
+
+@pytest.fixture()
+def tracer():
+    tracer = RequestTracer()
+    rng = np.random.default_rng(11)
+    for i in range(200):
+        lat = float(rng.lognormal(-3.0, 0.5))
+        tracer.observe(_trace("account.blobs", "blob.download", i * 0.1, lat))
+        tracer.observe_call(
+            _trace(
+                "account.blobs", "blob.download", i * 0.1, lat * 1.1,
+                retries=i % 3,
+            )
+        )
+    tracer.observe(
+        _trace("account.queues", "queue.add", 30.0, 0.05, outcome="Timeout")
+    )
+    tracer.observe_batch(
+        "account.tables", "table.insert",
+        rng.lognormal(-4.0, 0.3, size=500), errors=7, client=True,
+    )
+    return tracer
+
+
+def test_tracer_snapshot_round_trip(tracer):
+    doc = _json_round_trip(tracer.snapshot())
+    restored = RequestTracer.from_snapshot(doc)
+    assert restored.total == tracer.total
+    assert restored.errors == tracer.errors
+    assert restored.client_total == tracer.client_total
+    assert restored.client_errors == tracer.client_errors
+    assert restored.retries == tracer.retries
+    assert restored.per_service_op_totals() == (
+        tracer.per_service_op_totals()
+    )
+    assert restored.client_per_op_totals() == tracer.client_per_op_totals()
+
+
+def test_tracer_histograms_round_trip_bucket_for_bucket(tracer):
+    doc = _json_round_trip(tracer.snapshot())
+    restored = RequestTracer.from_snapshot(doc)
+    for view in ("latency_histograms", "client_latency_histograms"):
+        orig = getattr(tracer, view)()
+        back = getattr(restored, view)()
+        assert set(back) == set(orig)
+        for key, hist in orig.items():
+            assert back[key].to_dict() == hist.to_dict()
+            for q in (50, 95, 99):
+                assert back[key].percentile(q) == hist.percentile(q)
+
+
+def test_snapshot_key_encoding_handles_dotted_names(tracer):
+    # Service names ("account.blobs") and ops ("blob.download") both
+    # contain dots; the snapshot keys must keep them separable.
+    doc = tracer.snapshot()
+    assert "account.blobs|blob.download" in doc["per_op"]
+    restored = RequestTracer.from_snapshot(_json_round_trip(doc))
+    assert ("account.blobs", "blob.download") in (
+        restored.per_service_op_totals()
+    )
+
+
+def test_request_summary_identical_after_round_trip(tracer):
+    restored = RequestTracer.from_snapshot(
+        _json_round_trip(tracer.snapshot())
+    )
+    assert request_summary(restored) == request_summary(tracer)
+
+
+def test_tracer_snapshot_omits_raw_records(tracer):
+    assert len(tracer.records()) > 0
+    restored = RequestTracer.from_snapshot(
+        _json_round_trip(tracer.snapshot())
+    )
+    assert restored.records() == []
+    # ... but the exact aggregates survive, which is the contract.
+    assert restored.total == tracer.total
+
+
+def test_histogram_tally_round_trip():
+    tally = HistogramTally("lat")
+    rng = np.random.default_rng(5)
+    tally.observe_batch(rng.lognormal(-3.0, 1.0, size=1000))
+    tally.observe(0.0)  # zero bucket
+    for _ in range(4):
+        tally.observe_error()
+    restored = HistogramTally.from_dict(_json_round_trip(tally.to_dict()))
+    assert restored.errors == 4
+    assert restored.count == tally.count
+    assert restored.histogram.to_dict() == tally.histogram.to_dict()
+    assert restored.percentile(99) == tally.percentile(99)
+
+
+def test_empty_histogram_round_trip():
+    hist = Histogram("empty")
+    restored = Histogram.from_dict(_json_round_trip(hist.to_dict()))
+    assert restored.count == 0
+    assert restored.to_dict() == hist.to_dict()
+
+
+def test_registry_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("jobs.done").increment(42)
+    registry.register_gauge("queue.depth", lambda: 17.0)
+    tally = registry.tally("job.latency_s")
+    tally.observe_batch(np.linspace(0.01, 0.5, 100))
+    tally.observe_error()
+    doc = _json_round_trip(registry.to_dict())
+    restored = MetricsRegistry.from_dict(doc)
+    assert restored.counter("jobs.done").value == 42
+    # Gauges freeze to the value they held at to_dict() time.
+    assert restored.read_gauge("queue.depth") == 17.0
+    assert restored.tally("job.latency_s").errors == 1
+    assert restored.snapshot() == registry.snapshot()
+    # The flat values block mirrors snapshot() for catalog consumers.
+    assert doc["values"] == _json_round_trip(registry.snapshot())

@@ -202,6 +202,24 @@ def main(argv=None) -> int:
         document = json.load(fh)
     if not isinstance(document, dict):
         fail("document must be a JSON object")
+    if "seeds" in document:
+        seeds = document["seeds"]
+        if not isinstance(seeds, dict) or not seeds:
+            fail("'seeds' must be a non-empty object")
+        cells = 0
+        for seed, levels in sorted(seeds.items(), key=lambda kv: int(kv[0])):
+            if not isinstance(levels, dict) or not levels:
+                fail(f"seeds[{seed}] must be a non-empty object")
+            for level, doc in sorted(
+                levels.items(), key=lambda kv: int(kv[0])
+            ):
+                check_summary(doc, where=f"seeds[{seed}][{level}]")
+                cells += 1
+        print(
+            f"scenario grid schema OK: '{document.get('scenario')}' over "
+            f"{len(seeds)} seed(s), {cells} cell(s)"
+        )
+        return 0
     if "levels" in document:
         levels = document["levels"]
         if not isinstance(levels, dict) or not levels:
